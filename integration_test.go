@@ -1,0 +1,182 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/avcc"
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/linreg"
+	"repro/internal/logreg"
+)
+
+// Cross-system integration invariants that tie the whole stack together.
+
+func integrationData(t *testing.T) *dataset.Data {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.TrainN, cfg.TestN, cfg.Features, cfg.Informative = 180, 60, 60, 16
+	cfg.Separation = 1.0
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func honestMasters(t *testing.T, ds *dataset.Data) map[string]cluster.Master {
+	t.Helper()
+	f := field.Default()
+	x := ds.FieldMatrix(f)
+	mk := func() map[string]*fieldmat.Matrix {
+		return map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}
+	}
+	sim := experiments.CI().Sim
+	avccM, err := avcc.NewMaster(f, avcc.Options{
+		Params: avcc.Params{N: 12, K: 9, S: 1, M: 1, DegF: 1},
+		Sim:    sim, Seed: 21, Dynamic: true,
+	}, mk(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lccM, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
+		N: 12, K: 9, S: 1, M: 1, DegF: 1, Sim: sim, Seed: 21,
+	}, mk(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncodedM, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
+		K: 9, Sim: sim, Seed: 21,
+	}, mk(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]cluster.Master{"avcc": avccM, "lcc": lccM, "uncoded": uncodedM}
+}
+
+// TestHonestSchemesAgreeBitExactly: in a fault-free environment all three
+// schemes decode every round exactly, so the weight trajectories — and
+// therefore the trained models — must be IDENTICAL across schemes. This is
+// the strongest cross-system consistency check the protocol admits: any
+// encode/verify/decode discrepancy in any scheme breaks it.
+func TestHonestSchemesAgreeBitExactly(t *testing.T) {
+	ds := integrationData(t)
+	f := field.Default()
+	cfg := logreg.DefaultTrainConfig()
+	cfg.Iterations = 6
+
+	var reference []float64
+	for name, master := range honestMasters(t, ds) {
+		_, model, err := logreg.TrainDistributed(f, master, ds, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reference == nil {
+			reference = model.W
+			continue
+		}
+		for i := range model.W {
+			if model.W[i] != reference[i] {
+				t.Fatalf("%s diverged from reference at weight %d: %v vs %v",
+					name, i, model.W[i], reference[i])
+			}
+		}
+	}
+}
+
+// TestLinregAndLogregShareMasters: the same master instance can train both
+// applications back to back (key reuse across protocols).
+func TestLinregAndLogregShareMasters(t *testing.T) {
+	ds := integrationData(t)
+	f := field.Default()
+	masters := honestMasters(t, ds)
+	m := masters["avcc"]
+
+	logCfg := logreg.DefaultTrainConfig()
+	logCfg.Iterations = 4
+	if _, _, err := logreg.TrainDistributed(f, m, ds, logCfg); err != nil {
+		t.Fatal(err)
+	}
+	linCfg := linreg.DefaultTrainConfig()
+	linCfg.Iterations = 4
+	series, model, err := linreg.TrainDistributed(f, m, ds, linCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Records) != 4 {
+		t.Fatal("linreg series wrong length")
+	}
+	if math.IsNaN(model.MSE(ds.TrainX, ds.TrainY, ds.Rows, ds.Cols)) {
+		t.Fatal("NaN loss after shared-master training")
+	}
+}
+
+// TestAttackedLogregOrdering: under the constant attack with M beyond LCC's
+// budget, the accuracy ordering AVCC > {LCC, uncoded} must hold end to end
+// (the root claim of the paper's Fig. 3).
+func TestAttackedLogregOrdering(t *testing.T) {
+	ds := integrationData(t)
+	f := field.Default()
+	x := ds.FieldMatrix(f)
+	mk := func() map[string]*fieldmat.Matrix {
+		return map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}
+	}
+	sim := experiments.CI().Sim
+	behaviors := func(n int) []attack.Behavior {
+		bs := make([]attack.Behavior, n)
+		for i := range bs {
+			bs[i] = attack.Honest{}
+		}
+		bs[3] = attack.Constant{V: experiments.ConstantAttackValue}
+		if n > 7 {
+			bs[7] = attack.Constant{V: experiments.ConstantAttackValue}
+		}
+		return bs
+	}
+	cfg := logreg.DefaultTrainConfig()
+	cfg.Iterations = 8
+
+	avccM, err := avcc.NewMaster(f, avcc.Options{
+		Params: avcc.Params{N: 12, K: 9, S: 1, M: 2, DegF: 1},
+		Sim:    sim, Seed: 23, Dynamic: true, PregeneratedCodings: true,
+	}, mk(), behaviors(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lccM, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
+		N: 12, K: 9, S: 1, M: 1, DegF: 1, Sim: sim, Seed: 23,
+	}, mk(), behaviors(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncodedM, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
+		K: 9, Sim: sim, Seed: 23,
+	}, mk(), behaviors(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc := map[string]float64{}
+	for name, m := range map[string]cluster.Master{"avcc": avccM, "lcc": lccM, "uncoded": uncodedM} {
+		_, model, err := logreg.TrainDistributed(f, m, ds, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		acc[name] = model.Accuracy(ds.TestX, ds.TestY, ds.TestRows, ds.Cols)
+	}
+	if acc["avcc"] < 0.8 {
+		t.Fatalf("AVCC accuracy %.3f too low", acc["avcc"])
+	}
+	if acc["lcc"] >= acc["avcc"] {
+		t.Fatalf("overwhelmed LCC (%.3f) should trail AVCC (%.3f)", acc["lcc"], acc["avcc"])
+	}
+	if acc["uncoded"] >= acc["avcc"] {
+		t.Fatalf("unprotected uncoded (%.3f) should trail AVCC (%.3f)", acc["uncoded"], acc["avcc"])
+	}
+}

@@ -1,0 +1,72 @@
+package attack
+
+// Straggler schedules decide which workers are slow at which iteration.
+// The paper's experiments hold straggler identities fixed per run (S nodes
+// with ~10× latency); the dynamic-coding experiment (Fig. 5) needs the
+// population to change at a specific iteration, which Phased provides.
+
+// StragglerSchedule reports whether a worker straggles at an iteration.
+type StragglerSchedule interface {
+	IsStraggler(worker, iter int) bool
+}
+
+// NoStragglers is the straggler-free environment of Fig. 4(a).
+type NoStragglers struct{}
+
+// IsStraggler implements StragglerSchedule.
+func (NoStragglers) IsStraggler(int, int) bool { return false }
+
+// FixedStragglers marks a fixed set of workers as permanently slow.
+type FixedStragglers struct {
+	set map[int]bool
+}
+
+// NewFixedStragglers builds a schedule for the given worker indices.
+func NewFixedStragglers(workers ...int) FixedStragglers {
+	s := FixedStragglers{set: make(map[int]bool, len(workers))}
+	for _, w := range workers {
+		s.set[w] = true
+	}
+	return s
+}
+
+// IsStraggler implements StragglerSchedule.
+func (s FixedStragglers) IsStraggler(worker, _ int) bool { return s.set[worker] }
+
+// Phased switches from one schedule to another at iteration Switch —
+// used by the Fig. 5 scenario where three stragglers appear at iteration 1.
+type Phased struct {
+	Before StragglerSchedule
+	After  StragglerSchedule
+	Switch int
+}
+
+// IsStraggler implements StragglerSchedule.
+func (p Phased) IsStraggler(worker, iter int) bool {
+	if iter < p.Switch {
+		return p.Before.IsStraggler(worker, iter)
+	}
+	return p.After.IsStraggler(worker, iter)
+}
+
+// Rotating makes a sliding window of Count workers straggle, shifting by one
+// each iteration — a worst-ish case for static code assignments used in
+// ablation benches.
+type Rotating struct {
+	N     int // total workers
+	Count int // simultaneous stragglers
+}
+
+// IsStraggler implements StragglerSchedule.
+func (r Rotating) IsStraggler(worker, iter int) bool {
+	if r.N <= 0 || r.Count <= 0 {
+		return false
+	}
+	start := iter % r.N
+	for i := 0; i < r.Count; i++ {
+		if (start+i)%r.N == worker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+// Package baseline implements the two comparison systems of the paper's
+// evaluation: the state-of-the-art LCC master (coded redundancy with
+// Reed–Solomon error correction, eq. 1) and the conventional uncoded master
+// (no redundancy, no detection).
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/lcc"
+	"repro/internal/simnet"
+)
+
+// LCCOptions configure the LCC baseline master.
+type LCCOptions struct {
+	// N, K, S, M, T are the coding parameters; the design point must
+	// satisfy eq. (1): N ≥ (K+T−1)·deg f + S + 2M + 1.
+	N, K, S, M, T int
+	// DegF is the computation degree (1 for the logreg rounds).
+	DegF int
+	// Sim is the latency model.
+	Sim simnet.Config
+	// Seed drives privacy masks and the error-locating projection.
+	Seed int64
+}
+
+// LCCMaster is the paper's baseline: it waits for N−S results (it cannot
+// verify early arrivals individually — Byzantine identification is coupled
+// into Reed–Solomon decoding), then decodes correcting up to M errors.
+//
+// When more than M results are corrupted (the paper's Fig. 3(b)/(d)
+// scenario: two Byzantines against an M=1 design), error decoding fails and
+// the master falls back to erasure-only decoding over the fastest results —
+// the corrupted contributions flow into the output, which is exactly the
+// accuracy degradation the paper reports for overloaded LCC.
+type LCCMaster struct {
+	f        *field.Field
+	opt      LCCOptions
+	rng      *rand.Rand
+	code     *lcc.Code
+	workers  []*cluster.Worker
+	exec     cluster.Executor
+	origRows map[string]int
+}
+
+// NewLCCMaster encodes data at (N, K, T) and wires up the virtual cluster.
+func NewLCCMaster(f *field.Field, opt LCCOptions, data map[string]*fieldmat.Matrix,
+	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (*LCCMaster, error) {
+	if opt.DegF < 1 {
+		opt.DegF = 1
+	}
+	if opt.N < lcc.RequiredWorkersLCC(opt.K, opt.T, opt.S, opt.M, opt.DegF) {
+		return nil, fmt.Errorf("baseline: LCC params violate N >= (K+T-1)degF+S+2M+1 = %d",
+			lcc.RequiredWorkersLCC(opt.K, opt.T, opt.S, opt.M, opt.DegF))
+	}
+	if behaviors != nil && len(behaviors) != opt.N {
+		return nil, fmt.Errorf("baseline: %d behaviours for %d workers", len(behaviors), opt.N)
+	}
+	if !opt.Sim.Validate() {
+		return nil, fmt.Errorf("baseline: invalid latency model")
+	}
+	code, err := lcc.New(f, opt.N, opt.K, opt.T, opt.DegF)
+	if err != nil {
+		return nil, err
+	}
+	m := &LCCMaster{
+		f:        f,
+		opt:      opt,
+		rng:      rand.New(rand.NewSource(opt.Seed)),
+		code:     code,
+		workers:  make([]*cluster.Worker, opt.N),
+		origRows: make(map[string]int, len(data)),
+	}
+	for i := range m.workers {
+		m.workers[i] = cluster.NewWorker(i)
+		if behaviors != nil {
+			m.workers[i].Behavior = behaviors[i]
+		}
+	}
+	for key, x := range data {
+		m.origRows[key] = x.Rows
+		padded := padRows(x, opt.K)
+		shards, err := code.EncodeMatrix(padded, m.rng)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: encode %q: %w", key, err)
+		}
+		for i, sh := range shards {
+			m.workers[i].Shards[key] = sh
+		}
+	}
+	m.exec = cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	return m, nil
+}
+
+// SetExecutor swaps the executor (tests and real-transport runs).
+func (m *LCCMaster) SetExecutor(e cluster.Executor) { m.exec = e }
+
+// Name implements cluster.Master.
+func (m *LCCMaster) Name() string { return "lcc" }
+
+// RunRound implements cluster.Master: wait for the first N−S arrivals, then
+// decode with an M-error budget.
+func (m *LCCMaster) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	if _, ok := m.origRows[key]; !ok {
+		return nil, fmt.Errorf("baseline: unknown round key %q", key)
+	}
+	active := make([]int, m.opt.N)
+	for i := range active {
+		active[i] = i
+	}
+	results := m.exec.RunRound(key, input, iter, active)
+	wait := m.opt.N - m.opt.S
+	if wait > len(results) {
+		wait = len(results)
+	}
+	used := results[:wait]
+
+	out := &cluster.RoundOutput{StragglersObserved: len(results) - wait}
+	var lastArrival, maxCompute, maxComm float64
+	workers := make([]int, wait)
+	outputs := make([][]field.Elem, wait)
+	for i, r := range used {
+		if r.Err != nil {
+			return nil, fmt.Errorf("baseline: worker %d failed: %w", r.Worker, r.Err)
+		}
+		workers[i] = r.Worker
+		outputs[i] = r.Output
+		if r.ArriveAt > lastArrival {
+			lastArrival = r.ArriveAt
+		}
+		if r.ComputeSec > maxCompute {
+			maxCompute = r.ComputeSec
+		}
+		if r.CommSec > maxComm {
+			maxComm = r.CommSec
+		}
+	}
+
+	decoded, bad, err := m.code.DecodeConcatWithErrors(workers, outputs, m.opt.M, m.rng)
+	threshold := m.code.Threshold()
+	// Reed–Solomon decode cost: one projection pass over all results, the
+	// Berlekamp–Welch solve (cubic in wait), and the interpolation pass.
+	decodeOps := float64(wait)*float64(len(outputs[0])) + // projection
+		float64(wait*wait*wait) + // BW linear system
+		float64(threshold)*float64(m.origRows[key]+threshold) // interpolation
+	if err != nil {
+		// Over-budget corruption: fall back to erasure-only decoding on the
+		// fastest threshold results. Byzantine contributions pass through.
+		decoded, err = m.code.DecodeConcat(workers[:threshold], outputs[:threshold])
+		if err != nil {
+			return nil, fmt.Errorf("baseline: fallback decode: %w", err)
+		}
+		bad = nil
+	}
+	decodeTime := m.opt.Sim.MasterTime(decodeOps)
+
+	out.Decoded = decoded[:m.origRows[key]]
+	out.Used = workers
+	for _, pos := range bad {
+		out.Byzantine = append(out.Byzantine, workers[pos])
+	}
+	out.Breakdown.Compute = maxCompute
+	out.Breakdown.Comm = maxComm
+	out.Breakdown.Decode = decodeTime
+	out.Breakdown.Wall = lastArrival + decodeTime
+	return out, nil
+}
+
+// FinishIteration implements cluster.Master; LCC never adapts.
+func (m *LCCMaster) FinishIteration(int) (float64, bool) { return 0, false }
+
+// padRows extends x with zero rows to the next multiple of k.
+func padRows(x *fieldmat.Matrix, k int) *fieldmat.Matrix {
+	if x.Rows%k == 0 {
+		return x
+	}
+	rows := ((x.Rows + k - 1) / k) * k
+	out := fieldmat.NewMatrix(rows, x.Cols)
+	copy(out.Data, x.Data)
+	return out
+}

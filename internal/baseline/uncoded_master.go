@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/simnet"
+)
+
+// UncodedOptions configure the conventional distributed baseline.
+type UncodedOptions struct {
+	// K is the number of participating workers; each holds 1/K of the
+	// uncoded rows. The paper runs K = 9 of the 12 available nodes.
+	K int
+	// Sim is the latency model.
+	Sim simnet.Config
+	// Seed feeds the executor's jitter stream.
+	Seed int64
+}
+
+// UncodedMaster is the conventional scheme: no redundancy, so the master
+// must wait for ALL K workers (every straggler is on the critical path),
+// and no verification, so Byzantine results flow straight into the output —
+// both effects the paper's figures show.
+type UncodedMaster struct {
+	f        *field.Field
+	opt      UncodedOptions
+	workers  []*cluster.Worker
+	exec     cluster.Executor
+	origRows map[string]int
+	// blockRows[key] is the padded per-worker row count, needed to stitch
+	// results back in worker order.
+	blockRows map[string]int
+}
+
+// NewUncodedMaster splits each data matrix into K contiguous uncoded row
+// blocks, one per worker.
+func NewUncodedMaster(f *field.Field, opt UncodedOptions, data map[string]*fieldmat.Matrix,
+	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (*UncodedMaster, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("baseline: uncoded needs K >= 1")
+	}
+	if behaviors != nil && len(behaviors) != opt.K {
+		return nil, fmt.Errorf("baseline: %d behaviours for %d workers", len(behaviors), opt.K)
+	}
+	if !opt.Sim.Validate() {
+		return nil, fmt.Errorf("baseline: invalid latency model")
+	}
+	m := &UncodedMaster{
+		f:         f,
+		opt:       opt,
+		workers:   make([]*cluster.Worker, opt.K),
+		origRows:  make(map[string]int, len(data)),
+		blockRows: make(map[string]int, len(data)),
+	}
+	for i := range m.workers {
+		m.workers[i] = cluster.NewWorker(i)
+		if behaviors != nil {
+			m.workers[i].Behavior = behaviors[i]
+		}
+	}
+	for key, x := range data {
+		m.origRows[key] = x.Rows
+		padded := padRows(x, opt.K)
+		blocks := fieldmat.SplitRows(padded, opt.K)
+		m.blockRows[key] = blocks[0].Rows
+		for i, b := range blocks {
+			m.workers[i].Shards[key] = b
+		}
+	}
+	m.exec = cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	return m, nil
+}
+
+// SetExecutor swaps the executor (tests and real-transport runs).
+func (m *UncodedMaster) SetExecutor(e cluster.Executor) { m.exec = e }
+
+// Name implements cluster.Master.
+func (m *UncodedMaster) Name() string { return "uncoded" }
+
+// RunRound implements cluster.Master: wait for every worker and concatenate
+// their block results in worker order.
+func (m *UncodedMaster) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	if _, ok := m.origRows[key]; !ok {
+		return nil, fmt.Errorf("baseline: unknown round key %q", key)
+	}
+	active := make([]int, m.opt.K)
+	for i := range active {
+		active[i] = i
+	}
+	results := m.exec.RunRound(key, input, iter, active)
+
+	out := &cluster.RoundOutput{}
+	blockLen := m.blockRows[key]
+	concat := make([]field.Elem, m.opt.K*blockLen)
+	var lastArrival, maxCompute, maxComm float64
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("baseline: worker %d failed: %w", r.Worker, r.Err)
+		}
+		if len(r.Output) != blockLen {
+			return nil, fmt.Errorf("baseline: worker %d returned %d values, want %d",
+				r.Worker, len(r.Output), blockLen)
+		}
+		copy(concat[r.Worker*blockLen:], r.Output)
+		out.Used = append(out.Used, r.Worker)
+		if r.ArriveAt > lastArrival {
+			lastArrival = r.ArriveAt
+		}
+		if r.ComputeSec > maxCompute {
+			maxCompute = r.ComputeSec
+		}
+		if r.CommSec > maxComm {
+			maxComm = r.CommSec
+		}
+	}
+	out.Decoded = concat[:m.origRows[key]]
+	out.Breakdown.Compute = maxCompute
+	out.Breakdown.Comm = maxComm
+	out.Breakdown.Wall = lastArrival // no verify, no decode
+	return out, nil
+}
+
+// FinishIteration implements cluster.Master; the uncoded scheme never adapts.
+func (m *UncodedMaster) FinishIteration(int) (float64, bool) { return 0, false }

@@ -1,0 +1,240 @@
+// Package cluster provides the distributed-execution substrate: worker
+// state (coded shards + adversarial behaviour) and executors that run one
+// protocol round across all workers and deliver results in arrival order.
+//
+// Two executors are provided:
+//
+//   - VirtualExecutor: workers compute for real, arrival times come from the
+//     simnet latency model. Deterministic given a seed; powers every
+//     experiment (see DESIGN.md on the testbed substitution).
+//   - GoExecutor: workers are goroutines, times are wall-clock, straggling
+//     is injected as sleeps. Used by examples and the integration tests
+//     that exercise real concurrency.
+//
+// Masters (internal/avcc, internal/baseline) are written against the
+// Executor interface so the same protocol logic runs on either.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/simnet"
+)
+
+// Op is the polynomial computation a worker applies to its coded shard.
+// The default is the matrix-vector product of the logistic-regression
+// rounds (deg f = 1); Generalized AVCC (paper Section IV-B) plugs in
+// higher-degree polynomials such as the Gram computation f(X) = X·Xᵀ
+// (deg f = 2), which Lagrange coding decodes and Freivalds-style checks
+// verify.
+type Op interface {
+	// Apply computes f on the shard (input is the broadcast operand;
+	// degree-only-in-X computations may ignore it). It returns the
+	// flattened result and the honest multiply-accumulate count.
+	Apply(f *field.Field, shard *fieldmat.Matrix, input []field.Elem) (out []field.Elem, ops float64, err error)
+	// Degree returns deg f for recovery-threshold accounting.
+	Degree() int
+}
+
+// MatVecOp is the default degree-1 operation y = X̃·input.
+type MatVecOp struct{}
+
+// Apply implements Op.
+func (MatVecOp) Apply(f *field.Field, shard *fieldmat.Matrix, input []field.Elem) ([]field.Elem, float64, error) {
+	if len(input) != shard.Cols {
+		return nil, 0, fmt.Errorf("cluster: matvec expects input length %d, got %d", shard.Cols, len(input))
+	}
+	return fieldmat.MatVec(f, shard, input), float64(shard.Rows) * float64(shard.Cols), nil
+}
+
+// Degree implements Op.
+func (MatVecOp) Degree() int { return 1 }
+
+// GramOp is the degree-2 operation G = X̃·X̃ᵀ, flattened row-major. The
+// broadcast input is ignored.
+type GramOp struct{}
+
+// Apply implements Op.
+func (GramOp) Apply(f *field.Field, shard *fieldmat.Matrix, _ []field.Elem) ([]field.Elem, float64, error) {
+	g := fieldmat.MatMul(f, shard, shard.Transpose())
+	ops := float64(shard.Rows) * float64(shard.Rows) * float64(shard.Cols)
+	return g.Data, ops, nil
+}
+
+// Degree implements Op.
+func (GramOp) Degree() int { return 2 }
+
+// Worker holds a node's coded shards, keyed by round name (the logistic-
+// regression protocol uses "fwd" for X̃ and "bwd" for the transposed-shard
+// X̃'), plus the behaviour that decides what it actually sends. Ops maps a
+// round key to a non-default operation; absent keys use MatVecOp.
+type Worker struct {
+	ID       int
+	Shards   map[string]*fieldmat.Matrix
+	Ops      map[string]Op
+	Behavior attack.Behavior
+}
+
+// NewWorker returns an honest worker with no shards.
+func NewWorker(id int) *Worker {
+	return &Worker{
+		ID:       id,
+		Shards:   make(map[string]*fieldmat.Matrix),
+		Ops:      make(map[string]Op),
+		Behavior: attack.Honest{},
+	}
+}
+
+// op resolves the operation for a round key.
+func (w *Worker) op(key string) Op {
+	if o, ok := w.Ops[key]; ok && o != nil {
+		return o
+	}
+	return MatVecOp{}
+}
+
+// Compute performs the worker's coded computation f(X̃) for the given round
+// key and passes it through the worker's behaviour. The returned ops count
+// is the honest computation's multiply-accumulate count — Byzantine workers
+// burn the same time; sending garbage is not faster.
+func (w *Worker) Compute(f *field.Field, key string, input []field.Elem, iter int) (out []field.Elem, ops float64, err error) {
+	shard, ok := w.Shards[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: worker %d has no shard %q", w.ID, key)
+	}
+	honest, ops, err := w.op(key).Apply(f, shard, input)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: worker %d shard %q: %w", w.ID, key, err)
+	}
+	return w.Behavior.Apply(f, iter, honest), ops, nil
+}
+
+// Result is one worker's response to a round, with its timing breakdown.
+type Result struct {
+	Worker int
+	Output []field.Elem
+	// ComputeSec is the worker's compute time (virtual or measured).
+	ComputeSec float64
+	// CommSec is the total link time (input broadcast + result return).
+	CommSec float64
+	// ArriveAt is when the master can first see this result, measured in
+	// seconds from the round start.
+	ArriveAt float64
+	// Err carries worker-side failures (missing shard etc.).
+	Err error
+}
+
+// Executor runs one round across the given active workers and returns
+// results ordered by arrival.
+type Executor interface {
+	RunRound(key string, input []field.Elem, iter int, active []int) []Result
+}
+
+// VirtualExecutor computes results eagerly and timestamps them with the
+// simnet model. It is deterministic given its seed.
+type VirtualExecutor struct {
+	F          *field.Field
+	Cfg        simnet.Config
+	Workers    []*Worker
+	Stragglers attack.StragglerSchedule
+	Rng        *rand.Rand
+}
+
+// NewVirtualExecutor wires up a virtual cluster. stragglers may be nil for
+// a straggler-free environment.
+func NewVirtualExecutor(f *field.Field, cfg simnet.Config, workers []*Worker, stragglers attack.StragglerSchedule, seed int64) *VirtualExecutor {
+	if stragglers == nil {
+		stragglers = attack.NoStragglers{}
+	}
+	return &VirtualExecutor{
+		F: f, Cfg: cfg, Workers: workers, Stragglers: stragglers,
+		Rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// RunRound implements Executor in virtual time.
+func (e *VirtualExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []Result {
+	q := simnet.NewQueue()
+	for _, id := range active {
+		w := e.Workers[id]
+		out, ops, err := w.Compute(e.F, key, input, iter)
+		sendIn := e.Cfg.CommTime(len(input))
+		var compute, sendOut float64
+		if err == nil {
+			compute = e.Cfg.ComputeTime(ops, e.Stragglers.IsStraggler(id, iter), e.Rng)
+			sendOut = e.Cfg.CommTime(len(out))
+		}
+		res := Result{
+			Worker:     id,
+			Output:     out,
+			ComputeSec: compute,
+			CommSec:    sendIn + sendOut,
+			ArriveAt:   sendIn + compute + sendOut,
+			Err:        err,
+		}
+		q.Push(res.ArriveAt, id, res)
+	}
+	results := make([]Result, 0, len(active))
+	for {
+		a, ok := q.Pop()
+		if !ok {
+			break
+		}
+		results = append(results, a.Payload.(Result))
+	}
+	return results
+}
+
+// GoExecutor runs workers as goroutines with wall-clock timing. Straggling
+// workers sleep for StragglerDelay before responding.
+type GoExecutor struct {
+	F              *field.Field
+	Workers        []*Worker
+	Stragglers     attack.StragglerSchedule
+	StragglerDelay time.Duration
+}
+
+// RunRound implements Executor with real concurrency; results are ordered
+// by actual completion time.
+func (e *GoExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []Result {
+	stragglers := e.Stragglers
+	if stragglers == nil {
+		stragglers = attack.NoStragglers{}
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	results := make([]Result, 0, len(active))
+	var wg sync.WaitGroup
+	for _, id := range active {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := e.Workers[id]
+			t0 := time.Now()
+			out, _, err := w.Compute(e.F, key, input, iter)
+			if stragglers.IsStraggler(id, iter) {
+				time.Sleep(e.StragglerDelay)
+			}
+			elapsed := time.Since(t0).Seconds()
+			mu.Lock()
+			results = append(results, Result{
+				Worker:     id,
+				Output:     out,
+				ComputeSec: elapsed,
+				ArriveAt:   time.Since(start).Seconds(),
+				Err:        err,
+			})
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].ArriveAt < results[j].ArriveAt })
+	return results
+}

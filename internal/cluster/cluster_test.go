@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/simnet"
+)
+
+var f = field.Default()
+
+func buildWorkers(t *testing.T, rng *rand.Rand, n, rows, cols int) ([]*Worker, []*fieldmat.Matrix) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	shards := make([]*fieldmat.Matrix, n)
+	for i := range workers {
+		workers[i] = NewWorker(i)
+		shards[i] = fieldmat.Rand(f, rng, rows, cols)
+		workers[i].Shards["fwd"] = shards[i]
+	}
+	return workers, shards
+}
+
+func TestWorkerComputeHonest(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	w := NewWorker(0)
+	shard := fieldmat.Rand(f, rng, 5, 7)
+	w.Shards["fwd"] = shard
+	in := f.RandVec(rng, 7)
+	out, ops, err := w.Compute(f, "fwd", in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 35 {
+		t.Fatalf("ops = %g, want 35", ops)
+	}
+	if !field.EqualVec(out, fieldmat.MatVec(f, shard, in)) {
+		t.Fatal("honest compute wrong")
+	}
+}
+
+func TestWorkerComputeErrors(t *testing.T) {
+	w := NewWorker(0)
+	w.Shards["fwd"] = fieldmat.NewMatrix(2, 3)
+	if _, _, err := w.Compute(f, "missing", make([]field.Elem, 3), 0); err == nil {
+		t.Fatal("missing shard accepted")
+	}
+	if _, _, err := w.Compute(f, "fwd", make([]field.Elem, 4), 0); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+}
+
+func TestWorkerByzantineBehaviourApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	w := NewWorker(3)
+	shard := fieldmat.Rand(f, rng, 4, 4)
+	w.Shards["fwd"] = shard
+	w.Behavior = attack.Constant{V: 8}
+	out, _, err := w.Compute(f, "fwd", f.RandVec(rng, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 8 {
+			t.Fatal("behaviour not applied")
+		}
+	}
+}
+
+func TestVirtualExecutorArrivalOrderAndCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	workers, shards := buildWorkers(t, rng, 6, 10, 8)
+	cfg := simnet.DefaultConfig()
+	cfg.JitterFrac = 0 // deterministic times for the assertion below
+	ex := NewVirtualExecutor(f, cfg, workers, attack.NewFixedStragglers(2), 1)
+	in := f.RandVec(rng, 8)
+	active := []int{0, 1, 2, 3, 4, 5}
+	results := ex.RunRound("fwd", in, 0, active)
+	if len(results) != 6 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].ArriveAt < results[i-1].ArriveAt {
+			t.Fatal("results out of arrival order")
+		}
+	}
+	// The straggler must arrive last: same work, 10x slower.
+	if results[len(results)-1].Worker != 2 {
+		t.Fatalf("straggler arrived at position != last (last = worker %d)", results[len(results)-1].Worker)
+	}
+	// Outputs must be the true products.
+	for _, r := range results {
+		want := fieldmat.MatVec(f, shards[r.Worker], in)
+		if !field.EqualVec(r.Output, want) {
+			t.Fatalf("worker %d output wrong", r.Worker)
+		}
+	}
+}
+
+func TestVirtualExecutorDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	workers, _ := buildWorkers(t, rng, 5, 6, 6)
+	in := f.RandVec(rng, 6)
+	run := func() []Result {
+		ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 99)
+		return ex.RunRound("fwd", in, 0, []int{0, 1, 2, 3, 4})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Worker != b[i].Worker || a[i].ArriveAt != b[i].ArriveAt {
+			t.Fatal("virtual executor not deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestVirtualExecutorActiveSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	workers, _ := buildWorkers(t, rng, 6, 4, 4)
+	ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 7)
+	results := ex.RunRound("fwd", f.RandVec(rng, 4), 0, []int{1, 3, 5})
+	if len(results) != 3 {
+		t.Fatalf("got %d results for 3 active workers", len(results))
+	}
+	seen := map[int]bool{}
+	for _, r := range results {
+		seen[r.Worker] = true
+	}
+	if !seen[1] || !seen[3] || !seen[5] {
+		t.Fatal("wrong workers responded")
+	}
+}
+
+func TestVirtualExecutorTimingComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	workers, _ := buildWorkers(t, rng, 2, 8, 8)
+	cfg := simnet.DefaultConfig()
+	cfg.JitterFrac = 0
+	ex := NewVirtualExecutor(f, cfg, workers, nil, 1)
+	in := f.RandVec(rng, 8)
+	results := ex.RunRound("fwd", in, 0, []int{0, 1})
+	for _, r := range results {
+		wantArrive := r.ComputeSec + r.CommSec
+		if diff := r.ArriveAt - wantArrive; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("arrival %g != compute+comm %g", r.ArriveAt, wantArrive)
+		}
+	}
+}
+
+func TestVirtualExecutorWorkerError(t *testing.T) {
+	workers := []*Worker{NewWorker(0)} // no shards at all
+	ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 1)
+	results := ex.RunRound("fwd", []field.Elem{1}, 0, []int{0})
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatal("worker error not propagated")
+	}
+}
+
+func TestGoExecutorMatchesVirtualOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(136))
+	workers, shards := buildWorkers(t, rng, 4, 6, 6)
+	in := f.RandVec(rng, 6)
+	ex := &GoExecutor{F: f, Workers: workers}
+	results := ex.RunRound("fwd", in, 0, []int{0, 1, 2, 3})
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if !field.EqualVec(r.Output, fieldmat.MatVec(f, shards[r.Worker], in)) {
+			t.Fatalf("worker %d output wrong under real concurrency", r.Worker)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].ArriveAt < results[i-1].ArriveAt {
+			t.Fatal("GoExecutor results not sorted by completion")
+		}
+	}
+}
+
+func TestGoExecutorStragglerDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	workers, _ := buildWorkers(t, rng, 3, 4, 4)
+	ex := &GoExecutor{
+		F: f, Workers: workers,
+		Stragglers:     attack.NewFixedStragglers(1),
+		StragglerDelay: 50 * time.Millisecond,
+	}
+	results := ex.RunRound("fwd", f.RandVec(rng, 4), 0, []int{0, 1, 2})
+	if results[len(results)-1].Worker != 1 {
+		t.Fatalf("delayed worker should arrive last, got order ending in %d", results[len(results)-1].Worker)
+	}
+	if results[len(results)-1].ArriveAt < 0.045 {
+		t.Fatal("straggler delay not applied")
+	}
+}
+
+func TestMatVecOpExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	shard := fieldmat.Rand(f, rng, 5, 4)
+	in := f.RandVec(rng, 4)
+	out, ops, err := MatVecOp{}.Apply(f, shard, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 20 {
+		t.Fatalf("ops = %g", ops)
+	}
+	if !field.EqualVec(out, fieldmat.MatVec(f, shard, in)) {
+		t.Fatal("MatVecOp wrong")
+	}
+	if (MatVecOp{}).Degree() != 1 {
+		t.Fatal("MatVecOp degree wrong")
+	}
+	if _, _, err := (MatVecOp{}).Apply(f, shard, in[:2]); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestGramOpExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	shard := fieldmat.Rand(f, rng, 4, 6)
+	out, ops, err := GramOp{}.Apply(f, shard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 4*4*6 {
+		t.Fatalf("ops = %g", ops)
+	}
+	want := fieldmat.MatMul(f, shard, shard.Transpose())
+	if !field.EqualVec(out, want.Data) {
+		t.Fatal("GramOp wrong")
+	}
+	if (GramOp{}).Degree() != 2 {
+		t.Fatal("GramOp degree wrong")
+	}
+}
+
+func TestWorkerCustomOpDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	w := NewWorker(0)
+	shard := fieldmat.Rand(f, rng, 3, 5)
+	w.Shards["gram"] = shard
+	w.Ops["gram"] = GramOp{}
+	out, _, err := w.Compute(f, "gram", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 9 {
+		t.Fatalf("gram output length %d, want 9", len(out))
+	}
+	// Keys without a registered op default to matvec.
+	w.Shards["fwd"] = shard
+	if _, _, err := w.Compute(f, "fwd", f.RandVec(rng, 5), 0); err != nil {
+		t.Fatal("default matvec dispatch broken:", err)
+	}
+}

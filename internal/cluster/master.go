@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"repro/internal/field"
+	"repro/internal/metrics"
+)
+
+// RoundOutput is what any master (AVCC, LCC baseline, uncoded baseline)
+// returns from one coded computation round.
+type RoundOutput struct {
+	// Decoded is the recovered computation output, trimmed to the original
+	// (un-padded) length.
+	Decoded []field.Elem
+	// Breakdown is the round's cost split (virtual seconds).
+	Breakdown metrics.Breakdown
+	// Used lists the workers whose results contributed to the decode.
+	Used []int
+	// Byzantine lists workers that failed verification this round (always
+	// empty for masters without per-worker verification).
+	Byzantine []int
+	// StragglersObserved counts active workers the master did not need to
+	// wait for (their results were still in flight when decoding started).
+	StragglersObserved int
+}
+
+// Master is the protocol-side interface the application layer (logistic
+// regression, the experiment harness, the examples) drives. One training
+// iteration issues one RunRound per protocol round and then calls
+// FinishIteration so adaptive masters can re-code.
+type Master interface {
+	// Name identifies the scheme in experiment tables ("avcc", "lcc",
+	// "uncoded", "static-vcc").
+	Name() string
+	// RunRound broadcasts input for the given round key (e.g. "fwd" for
+	// X̃·w, "bwd" for X̃'·e) and returns the decoded result.
+	RunRound(key string, input []field.Elem, iter int) (*RoundOutput, error)
+	// FinishIteration lets the master adapt between iterations (dynamic
+	// coding). It returns the one-time virtual cost incurred (0 when no
+	// re-coding happened) and whether a re-code took place.
+	FinishIteration(iter int) (recodeCost float64, recoded bool)
+}

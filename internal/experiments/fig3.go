@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Fig3Setting identifies one of the four convergence plots of Fig. 3.
+type Fig3Setting struct {
+	ID     string
+	Attack string // "reverse" or "constant"
+	S, M   int
+}
+
+// Fig3Settings enumerates the paper's four panels.
+var Fig3Settings = []Fig3Setting{
+	{ID: "fig3a", Attack: "reverse", S: 2, M: 1},
+	{ID: "fig3b", Attack: "reverse", S: 1, M: 2},
+	{ID: "fig3c", Attack: "constant", S: 2, M: 1},
+	{ID: "fig3d", Attack: "constant", S: 1, M: 2},
+}
+
+// Fig3SettingByID looks a panel up by id ("fig3a".."fig3d").
+func Fig3SettingByID(id string) (Fig3Setting, error) {
+	for _, s := range Fig3Settings {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Fig3Setting{}, fmt.Errorf("experiments: unknown fig3 panel %q", id)
+}
+
+// Fig3Result holds the three convergence traces of one panel.
+type Fig3Result struct {
+	Setting Fig3Setting
+	AVCC    *metrics.Series
+	LCC     *metrics.Series
+	Uncoded *metrics.Series
+}
+
+// RunFig3 regenerates one panel of Fig. 3: test accuracy versus (virtual)
+// training time for AVCC, LCC, and uncoded under the given attack and
+// straggler/Byzantine population.
+func RunFig3(sc Scale, set Fig3Setting) (*Fig3Result, error) {
+	env, err := mkEnvironment(set.Attack, set.S, set.M)
+	if err != nil {
+		return nil, err
+	}
+	masters, ds, err := systems(sc, env)
+	if err != nil {
+		return nil, err
+	}
+	series, err := trainAll(sc, masters, ds)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{
+		Setting: set,
+		AVCC:    series["avcc"],
+		LCC:     series["lcc"],
+		Uncoded: series["uncoded"],
+	}, nil
+}
+
+// Render prints the accuracy-vs-time series of each scheme, the form the
+// paper plots.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 3 (%s): %s attack, S=%d, M=%d\n",
+		r.Setting.ID, r.Setting.Attack, r.Setting.S, r.Setting.M)
+	fmt.Fprintf(&sb, "%-8s %12s %12s %10s\n", "scheme", "time(s)", "accuracy", "iter")
+	for _, s := range []*metrics.Series{r.AVCC, r.LCC, r.Uncoded} {
+		for _, rec := range s.Records {
+			fmt.Fprintf(&sb, "%-8s %12.4f %12.4f %10d\n", s.Name, rec.Time, rec.TestAccuracy, rec.Iter)
+		}
+	}
+	fmt.Fprintf(&sb, "final: avcc=%.4f lcc=%.4f uncoded=%.4f | total time: avcc=%.3fs lcc=%.3fs uncoded=%.3fs\n",
+		r.AVCC.FinalAccuracy(), r.LCC.FinalAccuracy(), r.Uncoded.FinalAccuracy(),
+		r.AVCC.TotalTime(), r.LCC.TotalTime(), r.Uncoded.TotalTime())
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Fig4Setting identifies one of the three per-iteration cost panels.
+type Fig4Setting struct {
+	ID   string
+	S, M int
+	// Attack is the Byzantine behaviour ("reverse" in the paper's shown
+	// panels; "none" for the straggler-free baseline panel).
+	Attack string
+}
+
+// Fig4Settings enumerates the paper's three panels.
+var Fig4Settings = []Fig4Setting{
+	{ID: "fig4a", S: 0, M: 0, Attack: "none"},
+	{ID: "fig4b", S: 1, M: 2, Attack: "reverse"},
+	{ID: "fig4c", S: 2, M: 1, Attack: "reverse"},
+}
+
+// Fig4SettingByID looks a panel up by id.
+func Fig4SettingByID(id string) (Fig4Setting, error) {
+	for _, s := range Fig4Settings {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Fig4Setting{}, fmt.Errorf("experiments: unknown fig4 panel %q", id)
+}
+
+// Fig4Result holds the mean per-iteration cost breakdown of each scheme.
+type Fig4Result struct {
+	Setting   Fig4Setting
+	Breakdown map[string]metrics.Breakdown
+	// FinalAcc mirrors the accuracy annotations in the paper's captions.
+	FinalAcc map[string]float64
+}
+
+// RunFig4 regenerates one panel of Fig. 4: the per-iteration runtime split
+// (compute / communication / verification / decoding) of AVCC, LCC and
+// uncoded under the given straggler and Byzantine population.
+func RunFig4(sc Scale, set Fig4Setting) (*Fig4Result, error) {
+	env, err := mkEnvironment(set.Attack, set.S, set.M)
+	if err != nil {
+		return nil, err
+	}
+	masters, ds, err := systems(sc, env)
+	if err != nil {
+		return nil, err
+	}
+	series, err := trainAll(sc, masters, ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{
+		Setting:   set,
+		Breakdown: make(map[string]metrics.Breakdown, len(series)),
+		FinalAcc:  make(map[string]float64, len(series)),
+	}
+	for name, s := range series {
+		res.Breakdown[name] = s.MeanBreakdown()
+		res.FinalAcc[name] = s.FinalAccuracy()
+	}
+	return res, nil
+}
+
+// Render prints the per-iteration breakdown table (the paper's stacked
+// log-scale bars, as numbers).
+func (r *Fig4Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 4 (%s): per-iteration cost, S=%d, M=%d, attack=%s\n",
+		r.Setting.ID, r.Setting.S, r.Setting.M, r.Setting.Attack)
+	fmt.Fprintf(&sb, "%-8s %12s %12s %12s %12s %12s %10s\n",
+		"scheme", "compute(s)", "comm(s)", "verify(s)", "decode(s)", "wall(s)", "accuracy")
+	for _, name := range []string{"avcc", "lcc", "uncoded"} {
+		b := r.Breakdown[name]
+		fmt.Fprintf(&sb, "%-8s %12.6f %12.6f %12.6f %12.6f %12.6f %10.4f\n",
+			name, b.Compute, b.Comm, b.Verify, b.Decode, b.Wall, r.FinalAcc[name])
+	}
+	return sb.String()
+}

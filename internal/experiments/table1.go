@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Table1Row is one row of the paper's Table I: end-to-end speedups of AVCC
+// over LCC and the uncoded scheme in one (attack, S, M) setting.
+type Table1Row struct {
+	Setting Fig3Setting
+	// SpeedupLCC is AVCC's speedup over the LCC baseline.
+	SpeedupLCC float64
+	// SpeedupUncoded is AVCC's speedup over the uncoded baseline.
+	SpeedupUncoded float64
+	// FinalAcc* record the convergence endpoints behind the speedups.
+	FinalAccAVCC, FinalAccLCC, FinalAccUncoded float64
+}
+
+// RunTable1 regenerates Table I by running all four Fig. 3 settings and
+// measuring time-to-accuracy speedups (falling back to total-time ratios
+// when a baseline never reaches AVCC's accuracy level — exactly the
+// settings where the paper's accuracy-improvement claims apply).
+func RunTable1(sc Scale) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(Fig3Settings))
+	for _, set := range Fig3Settings {
+		res, err := RunFig3(sc, set)
+		if err != nil {
+			return nil, err
+		}
+		// Per-pair target: 98% of the accuracy level BOTH schemes reach —
+		// the paper's speedups are times to a common accuracy level (a
+		// baseline that converges lower is compared at its own ceiling,
+		// which is also where its accuracy-improvement column applies).
+		targetLCC := 0.98 * math.Min(res.AVCC.FinalAccuracy(), res.LCC.FinalAccuracy())
+		targetUnc := 0.98 * math.Min(res.AVCC.FinalAccuracy(), res.Uncoded.FinalAccuracy())
+		rows = append(rows, Table1Row{
+			Setting:         set,
+			SpeedupLCC:      metrics.Speedup(res.AVCC, res.LCC, targetLCC),
+			SpeedupUncoded:  metrics.Speedup(res.AVCC, res.Uncoded, targetUnc),
+			FinalAccAVCC:    res.AVCC.FinalAccuracy(),
+			FinalAccLCC:     res.LCC.FinalAccuracy(),
+			FinalAccUncoded: res.Uncoded.FinalAccuracy(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the table in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: speedups of AVCC over LCC and the uncoded scheme\n")
+	fmt.Fprintf(&sb, "%-28s %10s %10s | %8s %8s %8s\n",
+		"setting", "vs LCC", "vs uncoded", "accAVCC", "accLCC", "accUnc")
+	for _, r := range rows {
+		name := fmt.Sprintf("%s attack S=%d, M=%d", r.Setting.Attack, r.Setting.S, r.Setting.M)
+		fmt.Fprintf(&sb, "%-28s %9.2fx %9.2fx | %8.4f %8.4f %8.4f\n",
+			name, r.SpeedupLCC, r.SpeedupUncoded,
+			r.FinalAccAVCC, r.FinalAccLCC, r.FinalAccUncoded)
+	}
+	return sb.String()
+}

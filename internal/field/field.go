@@ -1,0 +1,218 @@
+// Package field implements arithmetic over a prime finite field F_q.
+//
+// The AVCC paper (Tang et al., IPDPS 2022) performs all coded computation,
+// Freivalds verification and Lagrange/MDS coding over F_q with
+// q = 2^25 - 39, the largest 25-bit prime. That choice guarantees that the
+// worst-case inner product of a GISETTE-sized row (d = 5000) with a
+// quantized weight vector fits in a signed 64-bit accumulator:
+// d·(q-1)^2 ≤ 2^63 - 1.
+//
+// This package supports any prime modulus q < 2^32 so products of two
+// canonical representatives fit in a uint64 without overflow. Elements are
+// plain uint64 values in [0, q); all operations are methods on *Field so the
+// modulus travels with the arithmetic and multiple fields can coexist (the
+// dynamic-coding path re-encodes under the same field, but tests exercise
+// several moduli).
+package field
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// QDefault is the field size used throughout the paper's evaluation:
+// 2^25 - 39 = 33554393, the largest 25-bit prime.
+const QDefault uint64 = 1<<25 - 39
+
+// Elem is a canonical representative of a field element, always in [0, q).
+// It is a bare integer rather than a struct so that large matrices of
+// elements are dense and copy-friendly.
+type Elem = uint64
+
+// Field is an immutable description of F_q. The zero value is invalid; use
+// New or MustNew.
+type Field struct {
+	q uint64
+	// halfQ caches (q-1)/2, the threshold separating non-negative from
+	// negative values in the two's-complement-style signed embedding.
+	halfQ uint64
+}
+
+// New returns the field F_q. It returns an error unless q is an odd prime
+// below 2^32 (the bound that keeps a single multiplication inside uint64).
+func New(q uint64) (*Field, error) {
+	if q >= 1<<32 {
+		return nil, fmt.Errorf("field: modulus %d does not fit the q < 2^32 requirement", q)
+	}
+	if q < 3 {
+		return nil, fmt.Errorf("field: modulus %d is too small", q)
+	}
+	if !isPrime(q) {
+		return nil, fmt.Errorf("field: modulus %d is not prime", q)
+	}
+	return &Field{q: q, halfQ: (q - 1) / 2}, nil
+}
+
+// MustNew is New for known-good constants; it panics on error.
+func MustNew(q uint64) *Field {
+	f, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Default returns F_q for q = 2^25 - 39, the paper's field.
+func Default() *Field { return MustNew(QDefault) }
+
+// Q returns the modulus.
+func (f *Field) Q() uint64 { return f.q }
+
+// Reduce maps an arbitrary uint64 into canonical form.
+func (f *Field) Reduce(x uint64) Elem { return x % f.q }
+
+// Add returns a + b mod q.
+func (f *Field) Add(a, b Elem) Elem {
+	s := a + b
+	if s >= f.q {
+		s -= f.q
+	}
+	return s
+}
+
+// Sub returns a - b mod q.
+func (f *Field) Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + f.q - b
+}
+
+// Neg returns -a mod q.
+func (f *Field) Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return f.q - a
+}
+
+// Mul returns a·b mod q. Both operands are canonical (< q < 2^32) so the
+// product fits in uint64.
+func (f *Field) Mul(a, b Elem) Elem { return a * b % f.q }
+
+// MulAdd returns acc + a·b mod q, the fused step of every inner product in
+// the codebase.
+func (f *Field) MulAdd(acc, a, b Elem) Elem {
+	return (acc + a*b%f.q) % f.q
+}
+
+// Exp returns a^e mod q by square-and-multiply.
+func (f *Field) Exp(a Elem, e uint64) Elem {
+	a %= f.q
+	result := Elem(1)
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = f.Mul(result, a)
+		}
+		a = f.Mul(a, a)
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse a^(q-2) mod q. It panics on a == 0,
+// which always indicates a programming error (singular decode matrix,
+// repeated evaluation point) rather than a recoverable condition.
+func (f *Field) Inv(a Elem) Elem {
+	if a%f.q == 0 {
+		panic("field: inverse of zero")
+	}
+	return f.Exp(a, f.q-2)
+}
+
+// Div returns a·b^(-1) mod q and panics when b == 0.
+func (f *Field) Div(a, b Elem) Elem { return f.Mul(a, f.Inv(b)) }
+
+// FromInt64 embeds a signed integer into F_q using the centered
+// (two's-complement style) representation the paper uses for quantized
+// weights: non-negative x maps to x mod q, negative x maps to q - (|x| mod q).
+func (f *Field) FromInt64(x int64) Elem {
+	if x >= 0 {
+		return uint64(x) % f.q
+	}
+	m := uint64(-x) % f.q
+	if m == 0 {
+		return 0
+	}
+	return f.q - m
+}
+
+// ToInt64 is the inverse of FromInt64: values above (q-1)/2 are interpreted
+// as negative. This is the "subtract q from all elements larger than
+// (q-1)/2" step of the paper's dequantization.
+func (f *Field) ToInt64(a Elem) int64 {
+	a %= f.q
+	if a > f.halfQ {
+		return int64(a) - int64(f.q)
+	}
+	return int64(a)
+}
+
+// isPrime is a deterministic Miller–Rabin test, exact for all inputs below
+// 2^64 with the witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}.
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := expMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// mulMod computes a·b mod m without overflow for arbitrary uint64 operands
+// (needed only by the primality test, which must handle moduli near 2^32).
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+func expMod(a, e, m uint64) uint64 {
+	a %= m
+	result := uint64(1)
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = mulMod(result, a, m)
+		}
+		a = mulMod(a, a, m)
+	}
+	return result
+}

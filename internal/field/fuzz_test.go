@@ -1,0 +1,51 @@
+package field
+
+import "testing"
+
+// Native fuzz targets: the seed corpus runs as part of `go test`, and
+// `go test -fuzz=FuzzX` explores further. Both target the invariants the
+// protocol's correctness rests on.
+
+// FuzzSignedEmbedding checks the two's-complement-style embedding round
+// trip and its additive homomorphism for arbitrary in-window integers.
+func FuzzSignedEmbedding(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(1), int64(-1))
+	f.Add(int64(16777196), int64(-16777196)) // ±(q-1)/2
+	f.Add(int64(12345), int64(-54321))
+	fd := Default()
+	half := int64((fd.Q() - 1) / 2)
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		a %= half / 2
+		b %= half / 2
+		if fd.ToInt64(fd.FromInt64(a)) != a {
+			t.Fatalf("round trip failed for %d", a)
+		}
+		sum := fd.ToInt64(fd.Add(fd.FromInt64(a), fd.FromInt64(b)))
+		if sum != a+b {
+			t.Fatalf("homomorphism failed: %d + %d -> %d", a, b, sum)
+		}
+	})
+}
+
+// FuzzFieldInverse checks x·x⁻¹ = 1 for arbitrary nonzero elements across
+// two moduli.
+func FuzzFieldInverse(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(2))
+	f.Add(uint64(33554392))
+	f.Add(uint64(987654321))
+	fd := Default()
+	small := MustNew(97)
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		for _, fld := range []*Field{fd, small} {
+			x := raw % fld.Q()
+			if x == 0 {
+				continue
+			}
+			if fld.Mul(x, fld.Inv(x)) != 1 {
+				t.Fatalf("q=%d: inverse of %d wrong", fld.Q(), x)
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package field
+
+import "math/rand"
+
+// Randomness over F_q. Three call sites need uniform field elements:
+//
+//  1. Freivalds verification keys r (soundness 1/q per trial hinges on
+//     uniformity),
+//  2. the LCC privacy masks W_{K+1..K+T} (T-privacy hinges on uniformity),
+//  3. tests and workload generators.
+//
+// All three draw through a caller-supplied *rand.Rand so experiments are
+// reproducible from a single seed; the package never touches global state.
+
+// Rand returns a uniform element of [0, q) using rejection sampling, which
+// removes the modulo bias a bare Int63n-style draw would carry into the
+// verification-soundness and privacy arguments.
+func (f *Field) Rand(rng *rand.Rand) Elem {
+	// Largest multiple of q below 2^63 (rand.Int63 yields 63 uniform bits).
+	limit := (uint64(1) << 63) / f.q * f.q
+	for {
+		v := uint64(rng.Int63())
+		if v < limit {
+			return v % f.q
+		}
+	}
+}
+
+// RandVec fills and returns a fresh uniform vector of length n.
+func (f *Field) RandVec(rng *rand.Rand, n int) []Elem {
+	out := make([]Elem, n)
+	for i := range out {
+		out[i] = f.Rand(rng)
+	}
+	return out
+}
+
+// RandNonZero returns a uniform element of [1, q).
+func (f *Field) RandNonZero(rng *rand.Rand) Elem {
+	for {
+		if v := f.Rand(rng); v != 0 {
+			return v
+		}
+	}
+}
+
+// DistinctPoints returns n distinct field elements starting from a small
+// deterministic sequence 1, 2, 3, ... — the evaluation points α_i and β_j of
+// the MDS/Lagrange codes do not need to be random, only distinct (and the
+// paper additionally requires A ∩ B = ∅ when T > 0, which callers obtain by
+// carving disjoint ranges out of this sequence).
+func (f *Field) DistinctPoints(n int, start uint64) []Elem {
+	if uint64(n) >= f.q {
+		panic("field: more distinct points requested than field elements")
+	}
+	out := make([]Elem, n)
+	for i := range out {
+		out[i] = (start + uint64(i)) % f.q
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package field
+
+// Vector helpers over F_q. These are the hot loops of both the workers'
+// coded computation and the master's O(m+d) Freivalds checks, so they are
+// written over raw []Elem slices with the reduction hoisted where safe.
+
+// AddVec stores a+b element-wise into dst. All three slices must have equal
+// length; dst may alias a or b.
+func (f *Field) AddVec(dst, a, b []Elem) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("field: AddVec length mismatch")
+	}
+	for i := range a {
+		s := a[i] + b[i]
+		if s >= f.q {
+			s -= f.q
+		}
+		dst[i] = s
+	}
+}
+
+// SubVec stores a-b element-wise into dst.
+func (f *Field) SubVec(dst, a, b []Elem) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("field: SubVec length mismatch")
+	}
+	for i := range a {
+		if a[i] >= b[i] {
+			dst[i] = a[i] - b[i]
+		} else {
+			dst[i] = a[i] + f.q - b[i]
+		}
+	}
+}
+
+// ScaleVec stores c·a element-wise into dst.
+func (f *Field) ScaleVec(dst []Elem, c Elem, a []Elem) {
+	if len(dst) != len(a) {
+		panic("field: ScaleVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = c * a[i] % f.q
+	}
+}
+
+// AXPY stores dst += c·a, the accumulation step of encoding: every coded
+// shard is a linear (or Lagrange-monomial) combination of data shards.
+func (f *Field) AXPY(dst []Elem, c Elem, a []Elem) {
+	if len(dst) != len(a) {
+		panic("field: AXPY length mismatch")
+	}
+	for i := range a {
+		dst[i] = (dst[i] + c*a[i]%f.q) % f.q
+	}
+}
+
+// Dot returns the inner product <a, b> over F_q.
+//
+// The accumulator strategy exploits q < 2^32: each product is reduced to
+// < q ≤ 2^32-1 and up to 2^31 such terms can be summed in a uint64 before a
+// reduction is forced, so for all realistic vector lengths the loop performs
+// one modulo per element (for the product) plus one final reduction.
+func (f *Field) Dot(a, b []Elem) Elem {
+	if len(a) != len(b) {
+		panic("field: Dot length mismatch")
+	}
+	const batch = 1 << 31 // safe count of < 2^32 terms in a uint64
+	var acc uint64
+	n := 0
+	for i := range a {
+		acc += a[i] * b[i] % f.q
+		n++
+		if n == batch {
+			acc %= f.q
+			n = 0
+		}
+	}
+	return acc % f.q
+}
+
+// EqualVec reports whether two vectors are element-wise identical (both are
+// assumed canonical).
+func EqualVec(a, b []Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyVec returns a fresh copy of a.
+func CopyVec(a []Elem) []Elem {
+	out := make([]Elem, len(a))
+	copy(out, a)
+	return out
+}
+
+// FromInt64Vec embeds a signed integer vector into F_q.
+func (f *Field) FromInt64Vec(xs []int64) []Elem {
+	out := make([]Elem, len(xs))
+	for i, x := range xs {
+		out[i] = f.FromInt64(x)
+	}
+	return out
+}
+
+// ToInt64Vec lifts a field vector back to centered signed integers.
+func (f *Field) ToInt64Vec(as []Elem) []int64 {
+	out := make([]int64, len(as))
+	for i, a := range as {
+		out[i] = f.ToInt64(a)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOpsMatchScalarOps(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(64)
+		a := f.RandVec(rng, n)
+		b := f.RandVec(rng, n)
+		c := f.Rand(rng)
+
+		sum := make([]Elem, n)
+		f.AddVec(sum, a, b)
+		diff := make([]Elem, n)
+		f.SubVec(diff, a, b)
+		scaled := make([]Elem, n)
+		f.ScaleVec(scaled, c, a)
+		axpy := CopyVec(b)
+		f.AXPY(axpy, c, a)
+
+		for i := 0; i < n; i++ {
+			if sum[i] != f.Add(a[i], b[i]) {
+				t.Fatal("AddVec mismatch")
+			}
+			if diff[i] != f.Sub(a[i], b[i]) {
+				t.Fatal("SubVec mismatch")
+			}
+			if scaled[i] != f.Mul(c, a[i]) {
+				t.Fatal("ScaleVec mismatch")
+			}
+			if axpy[i] != f.Add(b[i], f.Mul(c, a[i])) {
+				t.Fatal("AXPY mismatch")
+			}
+		}
+	}
+}
+
+func TestVecOpsAliasSafe(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(11))
+	a := f.RandVec(rng, 32)
+	b := f.RandVec(rng, 32)
+	want := make([]Elem, 32)
+	f.AddVec(want, a, b)
+	got := CopyVec(a)
+	f.AddVec(got, got, b) // dst aliases a
+	if !EqualVec(got, want) {
+		t.Fatal("AddVec is not alias-safe")
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		a := f.RandVec(rng, n)
+		b := f.RandVec(rng, n)
+		var want Elem
+		for i := 0; i < n; i++ {
+			want = f.Add(want, f.Mul(a[i], b[i]))
+		}
+		if got := f.Dot(a, b); got != want {
+			t.Fatalf("Dot = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestDotBilinearQuick(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(13))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(32)
+		a := f.RandVec(r, n)
+		b := f.RandVec(r, n)
+		c := f.RandVec(r, n)
+		// <a+b, c> == <a,c> + <b,c>
+		ab := make([]Elem, n)
+		f.AddVec(ab, a, b)
+		return f.Dot(ab, c) == f.Add(f.Dot(a, c), f.Dot(b, c))
+	}, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	f := Default()
+	for name, fn := range map[string]func(){
+		"AddVec":   func() { f.AddVec(make([]Elem, 2), make([]Elem, 3), make([]Elem, 3)) },
+		"SubVec":   func() { f.SubVec(make([]Elem, 3), make([]Elem, 3), make([]Elem, 2)) },
+		"ScaleVec": func() { f.ScaleVec(make([]Elem, 2), 1, make([]Elem, 3)) },
+		"AXPY":     func() { f.AXPY(make([]Elem, 2), 1, make([]Elem, 3)) },
+		"Dot":      func() { f.Dot(make([]Elem, 2), make([]Elem, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInt64VecRoundTrip(t *testing.T) {
+	f := Default()
+	xs := []int64{0, 1, -1, 1000, -1000, 123456, -123456}
+	if got := f.ToInt64Vec(f.FromInt64Vec(xs)); len(got) != len(xs) {
+		t.Fatal("length changed")
+	} else {
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("round trip xs[%d]=%d -> %d", i, xs[i], got[i])
+			}
+		}
+	}
+}
+
+func TestRandIsCanonicalAndCoversField(t *testing.T) {
+	f := MustNew(7)
+	rng := rand.New(rand.NewSource(14))
+	seen := map[Elem]bool{}
+	for i := 0; i < 500; i++ {
+		v := f.Rand(rng)
+		if v >= 7 {
+			t.Fatalf("Rand produced non-canonical %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Rand covered %d of 7 elements in 500 draws", len(seen))
+	}
+}
+
+func TestRandNonZero(t *testing.T) {
+	f := MustNew(3)
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 100; i++ {
+		if f.RandNonZero(rng) == 0 {
+			t.Fatal("RandNonZero returned 0")
+		}
+	}
+}
+
+func TestDistinctPoints(t *testing.T) {
+	f := Default()
+	pts := f.DistinctPoints(24, 1)
+	seen := map[Elem]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate point %d", p)
+		}
+		seen[p] = true
+	}
+	if pts[0] != 1 || pts[23] != 24 {
+		t.Fatal("points are not the expected sequence")
+	}
+}
+
+func TestDistinctPointsTooManyPanics(t *testing.T) {
+	f := MustNew(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.DistinctPoints(7, 0)
+}
+
+func BenchmarkDot(b *testing.B) {
+	f := Default()
+	rng := rand.New(rand.NewSource(16))
+	x := f.RandVec(rng, 4096)
+	y := f.RandVec(rng, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Dot(x, y)
+	}
+}
+
+func BenchmarkAXPY(b *testing.B) {
+	f := Default()
+	rng := rand.New(rand.NewSource(17))
+	x := f.RandVec(rng, 4096)
+	y := f.RandVec(rng, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AXPY(y, 3, x)
+	}
+}

@@ -1,0 +1,260 @@
+// Package fieldmat provides dense vectors and matrices over a prime field,
+// the data plane of the whole AVCC stack: data shards X_i, coded shards X̃_i,
+// worker products X̃_i·w and X̃_iᵀ·e, Freivalds key rows r·X̃_i, and the
+// K×K MDS decode systems all live here.
+//
+// Matrices are row-major over a single backing slice. The multiply kernels
+// split work across goroutines by row blocks because worker compute time —
+// matrix-vector products over shards of thousands of rows — dominates every
+// experiment in the paper.
+package fieldmat
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/field"
+)
+
+// Matrix is a dense rows×cols matrix over F_q, stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []field.Elem
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("fieldmat: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]field.Elem, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows (copied).
+func FromRows(rows [][]field.Elem) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("fieldmat: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []field.Elem {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) field.Elem { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v field.Elem) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports element-wise equality including shape.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	return field.EqualVec(m.Data, o.Data)
+}
+
+// String renders small matrices for test failure messages.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 256 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		s += fmt.Sprintln(m.Row(i))
+	}
+	return s
+}
+
+// Transpose returns a fresh mᵀ. The second logistic-regression round
+// computes X̃ᵀe, so workers hold transposed shards too.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// VStack concatenates matrices with equal column counts vertically — the
+// decode step reassembles Y = [Y_1ᵀ … Y_Kᵀ]ᵀ this way.
+func VStack(blocks []*Matrix) *Matrix {
+	if len(blocks) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := blocks[0].Cols
+	rows := 0
+	for _, b := range blocks {
+		if b.Cols != cols {
+			panic("fieldmat: VStack column mismatch")
+		}
+		rows += b.Rows
+	}
+	out := NewMatrix(rows, cols)
+	at := 0
+	for _, b := range blocks {
+		copy(out.Data[at:at+len(b.Data)], b.Data)
+		at += len(b.Data)
+	}
+	return out
+}
+
+// SplitRows splits m into k consecutive row blocks. The paper requires K to
+// divide m (it pads otherwise); we enforce divisibility and let callers pad.
+func SplitRows(m *Matrix, k int) []*Matrix {
+	if k <= 0 || m.Rows%k != 0 {
+		panic(fmt.Sprintf("fieldmat: cannot split %d rows into %d equal blocks", m.Rows, k))
+	}
+	per := m.Rows / k
+	out := make([]*Matrix, k)
+	for i := range out {
+		b := NewMatrix(per, m.Cols)
+		copy(b.Data, m.Data[i*per*m.Cols:(i+1)*per*m.Cols])
+		out[i] = b
+	}
+	return out
+}
+
+// Rand fills a fresh matrix with uniform field elements.
+func Rand(f *field.Field, rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = f.Rand(rng)
+	}
+	return m
+}
+
+// MatVec computes y = m·x over F_q, parallelised across row blocks when the
+// matrix is large enough to amortise goroutine startup.
+func MatVec(f *field.Field, m *Matrix, x []field.Elem) []field.Elem {
+	if len(x) != m.Cols {
+		panic("fieldmat: MatVec dimension mismatch")
+	}
+	y := make([]field.Elem, m.Rows)
+	const parallelThreshold = 1 << 16 // elements touched
+	if m.Rows*m.Cols < parallelThreshold {
+		for i := 0; i < m.Rows; i++ {
+			y[i] = f.Dot(m.Row(i), x)
+		}
+		return y
+	}
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = f.Dot(m.Row(i), x)
+		}
+	})
+	return y
+}
+
+// MatMul computes c = a·b over F_q with an i-k-j loop order (streaming rows
+// of b) and row-block parallelism.
+func MatMul(f *field.Field, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("fieldmat: MatMul dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				f.AXPY(crow, av, b.Row(k))
+			}
+		}
+	}
+	const parallelThreshold = 1 << 14
+	if a.Rows*a.Cols+b.Rows*b.Cols < parallelThreshold {
+		work(0, a.Rows)
+	} else {
+		parallelRows(a.Rows, work)
+	}
+	return c
+}
+
+// VecMat computes y = xᵀ·m (a row vector times a matrix); the Freivalds key
+// s = r·X̃ is exactly this shape.
+func VecMat(f *field.Field, x []field.Elem, m *Matrix) []field.Elem {
+	if len(x) != m.Rows {
+		panic("fieldmat: VecMat dimension mismatch")
+	}
+	y := make([]field.Elem, m.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		f.AXPY(y, xi, m.Row(i))
+	}
+	return y
+}
+
+// Scale multiplies every element in place by c.
+func (m *Matrix) Scale(f *field.Field, c field.Elem) {
+	f.ScaleVec(m.Data, c, m.Data)
+}
+
+// AddInPlace sets m += o.
+func (m *Matrix) AddInPlace(f *field.Field, o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("fieldmat: AddInPlace shape mismatch")
+	}
+	f.AddVec(m.Data, m.Data, o.Data)
+}
+
+// AXPY sets m += c·o, the shard-combination step of every encoder.
+func (m *Matrix) AXPY(f *field.Field, c field.Elem, o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("fieldmat: AXPY shape mismatch")
+	}
+	f.AXPY(m.Data, c, o.Data)
+}
+
+// parallelRows splits [0, n) across NumCPU goroutines.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

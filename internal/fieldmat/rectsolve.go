@@ -1,0 +1,80 @@
+package fieldmat
+
+import (
+	"errors"
+
+	"repro/internal/field"
+)
+
+// ErrInconsistent reports an overdetermined system with no solution. The
+// Berlekamp–Welch decoder sees this when it guesses too large an error count
+// and retries with a smaller one.
+var ErrInconsistent = errors.New("fieldmat: inconsistent linear system")
+
+// SolveAny returns some solution x of a·x = b for a general (possibly
+// rectangular, possibly rank-deficient) matrix, setting free variables to
+// zero. It returns ErrInconsistent when no solution exists.
+//
+// This is the workhorse of the Berlekamp–Welch key equation
+// Q(x_i) = y_i·E(x_i): n equations in k+2e unknowns where extra equations
+// are consistent by construction whenever the error bound holds.
+func SolveAny(f *field.Field, a *Matrix, b []field.Elem) ([]field.Elem, error) {
+	if len(b) != a.Rows {
+		panic("fieldmat: SolveAny dimension mismatch")
+	}
+	rows, cols := a.Rows, a.Cols
+	aug := NewMatrix(rows, cols+1)
+	for i := 0; i < rows; i++ {
+		copy(aug.Row(i)[:cols], a.Row(i))
+		aug.Set(i, cols, b[i])
+	}
+
+	// Forward elimination with column pivoting record.
+	pivotCol := make([]int, 0, cols) // pivotCol[r] = column of pivot in row r
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if aug.At(i, c) != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != r {
+			pr, rr := aug.Row(pivot), aug.Row(r)
+			for j := range pr {
+				pr[j], rr[j] = rr[j], pr[j]
+			}
+		}
+		inv := f.Inv(aug.At(r, c))
+		f.ScaleVec(aug.Row(r)[c:], inv, aug.Row(r)[c:])
+		for i := 0; i < rows; i++ {
+			if i == r {
+				continue
+			}
+			factor := aug.At(i, c)
+			if factor == 0 {
+				continue
+			}
+			f.AXPY(aug.Row(i)[c:], f.Neg(factor), aug.Row(r)[c:])
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+
+	// Any all-zero row with nonzero RHS means inconsistency.
+	for i := r; i < rows; i++ {
+		if aug.At(i, cols) != 0 {
+			return nil, ErrInconsistent
+		}
+	}
+
+	x := make([]field.Elem, cols)
+	for row, c := range pivotCol {
+		x[c] = aug.At(row, cols)
+	}
+	return x, nil
+}

@@ -1,0 +1,226 @@
+// Package lcc implements Lagrange Coded Computing (Yu et al., AISTATS 2019)
+// as used by the AVCC paper: the encoder of Section IV-B (eq. 12–13) with T
+// random privacy masks, the interpolation decoder, and — for the LCC
+// *baseline* that AVCC is compared against — a Reed–Solomon style decoder
+// that corrects M Byzantine results at the classic cost of 2M extra workers.
+//
+// The dataset is split into K blocks X_1..X_K; the encoding polynomial
+//
+//	u(z) = Σ_{j≤K} X_j·ℓ_j(z) + Σ_{K<j≤K+T} W_j·ℓ_j(z)
+//
+// passes through the data at points β_1..β_K and through uniformly random
+// masks W_j at β_{K+1}..β_{K+T}. Worker i receives X̃_i = u(α_i) and applies
+// the target polynomial f, producing one evaluation of f(u(z)), a polynomial
+// of degree ≤ (K+T−1)·deg f. The master interpolates it from any
+// (K+T−1)·deg f + 1 evaluations and reads f(X_j) = f(u(β_j)).
+//
+// When T > 0 the worker points A = {α_i} are chosen disjoint from the data
+// points B = {β_j} (the paper's A ∩ B = ∅ condition) so no worker holds a
+// raw data block; any T shards are jointly uniform (Theorem 1, T-privacy).
+package lcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/poly"
+)
+
+// Code is an immutable (N, K, T) Lagrange code for computations of a fixed
+// polynomial degree.
+type Code struct {
+	f    *field.Field
+	n    int
+	k    int
+	t    int
+	degF int
+	// betas has K+T entries: data points then mask points.
+	betas []field.Elem
+	// alphas has N entries: worker evaluation points.
+	alphas []field.Elem
+	// gen is the (K+T)×N matrix gen[j][i] = ℓ_j(α_i).
+	gen *fieldmat.Matrix
+}
+
+// New constructs an (n, k, t) Lagrange code for degree-degF computations.
+// It validates only code-shape constraints; resiliency/security budgets
+// (S, M) are properties of how many results the caller waits for, checked by
+// RequiredWorkersAVCC / RequiredWorkersLCC.
+func New(f *field.Field, n, k, t, degF int) (*Code, error) {
+	if k < 1 || t < 0 || degF < 1 {
+		return nil, fmt.Errorf("lcc: invalid (K,T,degF) = (%d,%d,%d)", k, t, degF)
+	}
+	if n < RecoveryThreshold(k, t, degF) {
+		return nil, fmt.Errorf("lcc: N = %d below recovery threshold %d", n, RecoveryThreshold(k, t, degF))
+	}
+	if uint64(n+k+t) >= f.Q() {
+		return nil, fmt.Errorf("lcc: N+K+T = %d does not fit in field of size %d", n+k+t, f.Q())
+	}
+	var betas, alphas []field.Elem
+	if t == 0 {
+		// Systematic layout: α_j = β_j for j ≤ K (overlap allowed, and
+		// desirable — the first K workers hold raw blocks, matching MDS).
+		alphas = f.DistinctPoints(n, 1)
+		betas = alphas[:k]
+	} else {
+		// Privacy requires A ∩ B = ∅.
+		betas = f.DistinctPoints(k+t, 1)
+		alphas = f.DistinctPoints(n, uint64(k+t)+1)
+	}
+	gen := fieldmat.NewMatrix(k+t, n)
+	for i, a := range alphas {
+		w := poly.InterpWeights(f, betas, a)
+		for j := 0; j < k+t; j++ {
+			gen.Set(j, i, w[j])
+		}
+	}
+	return &Code{f: f, n: n, k: k, t: t, degF: degF, betas: betas, alphas: alphas, gen: gen}, nil
+}
+
+// RecoveryThreshold returns the number of correct evaluations needed to
+// interpolate f(u(z)): (K+T−1)·deg f + 1.
+func RecoveryThreshold(k, t, degF int) int { return (k+t-1)*degF + 1 }
+
+// RequiredWorkersAVCC returns the paper's eq. (2):
+// N ≥ (K+T−1)·deg f + S + M + 1. Byzantines cost the same as stragglers
+// because verification discards them individually.
+func RequiredWorkersAVCC(k, t, s, m, degF int) int {
+	return (k+t-1)*degF + s + m + 1
+}
+
+// RequiredWorkersLCC returns the paper's eq. (1):
+// N ≥ (K+T−1)·deg f + S + 2M + 1. The factor 2 is the Reed–Solomon
+// error-correction cost implemented by DecodeWithErrors.
+func RequiredWorkersLCC(k, t, s, m, degF int) int {
+	return (k+t-1)*degF + s + 2*m + 1
+}
+
+// N returns the code length.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data blocks.
+func (c *Code) K() int { return c.k }
+
+// T returns the number of privacy masks (colluding workers tolerated).
+func (c *Code) T() int { return c.t }
+
+// DegF returns the computation degree the code is configured for.
+func (c *Code) DegF() int { return c.degF }
+
+// Field returns the underlying field.
+func (c *Code) Field() *field.Field { return c.f }
+
+// Threshold returns this code's recovery threshold.
+func (c *Code) Threshold() int { return RecoveryThreshold(c.k, c.t, c.degF) }
+
+// Alphas returns a copy of the worker evaluation points.
+func (c *Code) Alphas() []field.Elem { return field.CopyVec(c.alphas) }
+
+// EncodeBlocks encodes K equal-shape data blocks into N coded shards,
+// drawing the T privacy masks from rng. rng may be nil when T = 0.
+func (c *Code) EncodeBlocks(blocks []*fieldmat.Matrix, rng *rand.Rand) ([]*fieldmat.Matrix, error) {
+	if len(blocks) != c.k {
+		return nil, fmt.Errorf("lcc: got %d blocks, K = %d", len(blocks), c.k)
+	}
+	rows, cols := blocks[0].Rows, blocks[0].Cols
+	for _, b := range blocks {
+		if b.Rows != rows || b.Cols != cols {
+			return nil, fmt.Errorf("lcc: blocks have unequal shapes")
+		}
+	}
+	if c.t > 0 && rng == nil {
+		return nil, fmt.Errorf("lcc: T = %d requires a random source for the privacy masks", c.t)
+	}
+	all := make([]*fieldmat.Matrix, c.k+c.t)
+	copy(all, blocks)
+	for j := c.k; j < c.k+c.t; j++ {
+		all[j] = fieldmat.Rand(c.f, rng, rows, cols)
+	}
+	shards := make([]*fieldmat.Matrix, c.n)
+	for i := 0; i < c.n; i++ {
+		sh := fieldmat.NewMatrix(rows, cols)
+		for j := 0; j < c.k+c.t; j++ {
+			coef := c.gen.At(j, i)
+			if coef == 0 {
+				continue
+			}
+			sh.AXPY(c.f, coef, all[j])
+		}
+		shards[i] = sh
+	}
+	return shards, nil
+}
+
+// EncodeMatrix splits x into K row blocks and encodes them.
+func (c *Code) EncodeMatrix(x *fieldmat.Matrix, rng *rand.Rand) ([]*fieldmat.Matrix, error) {
+	if x.Rows%c.k != 0 {
+		return nil, fmt.Errorf("lcc: %d rows not divisible by K = %d", x.Rows, c.k)
+	}
+	return c.EncodeBlocks(fieldmat.SplitRows(x, c.k), rng)
+}
+
+// DecodeVectors recovers f(X_1)..f(X_K) (flattened as vectors) from at least
+// Threshold() verified worker results. results[r] = f(u(α_{workers[r]})).
+// All supplied results are trusted; AVCC guarantees this by Freivalds
+// verification before decode.
+func (c *Code) DecodeVectors(workers []int, results [][]field.Elem) ([][]field.Elem, error) {
+	th := c.Threshold()
+	if len(workers) < th {
+		return nil, fmt.Errorf("lcc: %d results below recovery threshold %d", len(workers), th)
+	}
+	if len(workers) != len(results) {
+		return nil, fmt.Errorf("lcc: workers/results length mismatch")
+	}
+	if err := c.checkWorkers(workers); err != nil {
+		return nil, err
+	}
+	dim := len(results[0])
+	for _, r := range results {
+		if len(r) != dim {
+			return nil, fmt.Errorf("lcc: ragged result vectors")
+		}
+	}
+	// Interpolation uses exactly the threshold count (extra results are
+	// redundant once verified).
+	workers = workers[:th]
+	results = results[:th]
+	xs := make([]field.Elem, th)
+	for r, w := range workers {
+		xs[r] = c.alphas[w]
+	}
+	out := make([][]field.Elem, c.k)
+	for j := 0; j < c.k; j++ {
+		w := poly.InterpWeights(c.f, xs, c.betas[j])
+		out[j] = poly.CombineVectors(c.f, w, results)
+	}
+	return out, nil
+}
+
+// DecodeConcat decodes and concatenates block results into one vector.
+func (c *Code) DecodeConcat(workers []int, results [][]field.Elem) ([]field.Elem, error) {
+	blocks, err := c.DecodeVectors(workers, results)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]field.Elem, 0, len(blocks)*len(blocks[0]))
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+func (c *Code) checkWorkers(workers []int) error {
+	seen := make(map[int]bool, len(workers))
+	for _, w := range workers {
+		if w < 0 || w >= c.n {
+			return fmt.Errorf("lcc: worker index %d out of range [0,%d)", w, c.n)
+		}
+		if seen[w] {
+			return fmt.Errorf("lcc: duplicate worker index %d", w)
+		}
+		seen[w] = true
+	}
+	return nil
+}

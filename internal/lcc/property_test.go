@@ -1,0 +1,168 @@
+package lcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// Property-based tests over randomly drawn code configurations: the
+// encode→compute→decode identity must hold for every valid (N, K, T, degF)
+// and every subset of workers of threshold size.
+
+func TestEncodeDecodeIdentityQuickLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(6)
+		tt := r.Intn(2)
+		threshold := RecoveryThreshold(k, tt, 1)
+		n := threshold + 1 + r.Intn(4)
+		code, err := New(f, n, k, tt, 1)
+		if err != nil {
+			return false
+		}
+		rows, cols := k*(1+r.Intn(3)), 1+r.Intn(5)
+		x := fieldmat.Rand(f, r, rows, cols)
+		w := f.RandVec(r, cols)
+		shards, err := code.EncodeMatrix(x, r)
+		if err != nil {
+			return false
+		}
+		// Random threshold-sized subset.
+		perm := r.Perm(n)[:threshold]
+		res := make([][]field.Elem, threshold)
+		for i, wk := range perm {
+			res[i] = fieldmat.MatVec(f, shards[wk], w)
+		}
+		got, err := code.DecodeConcat(perm, res)
+		if err != nil {
+			return false
+		}
+		return field.EqualVec(got, fieldmat.MatVec(f, x, w))
+	}, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeIdentityQuickQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(4)
+		tt := r.Intn(2)
+		threshold := RecoveryThreshold(k, tt, 2)
+		n := threshold + r.Intn(3)
+		code, err := New(f, n, k, tt, 2)
+		if err != nil {
+			return false
+		}
+		rows, cols := k*(1+r.Intn(2)), 1+r.Intn(4)
+		x := fieldmat.Rand(f, r, rows, cols)
+		blocks := fieldmat.SplitRows(x, k)
+		shards, err := code.EncodeBlocks(blocks, r)
+		if err != nil {
+			return false
+		}
+		perm := r.Perm(n)[:threshold]
+		res := make([][]field.Elem, threshold)
+		for i, wk := range perm {
+			res[i] = applySquare(shards[wk])
+		}
+		got, err := code.DecodeVectors(perm, res)
+		if err != nil {
+			return false
+		}
+		for j, b := range blocks {
+			if !field.EqualVec(got[j], applySquare(b)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorDecodeIdentityQuick(t *testing.T) {
+	// With up to maxErrors corruptions at random positions, DecodeWithErrors
+	// must recover the exact result and identify exactly the corrupted
+	// positions.
+	rng := rand.New(rand.NewSource(502))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		maxErr := 1 + r.Intn(2)
+		threshold := RecoveryThreshold(k, 0, 1)
+		n := threshold + 2*maxErr + r.Intn(2)
+		code, err := New(f, n, k, 0, 1)
+		if err != nil {
+			return false
+		}
+		x := fieldmat.Rand(f, r, k*2, 3)
+		w := f.RandVec(r, 3)
+		shards, err := code.EncodeMatrix(x, nil)
+		if err != nil {
+			return false
+		}
+		res := make([][]field.Elem, n)
+		idx := make([]int, n)
+		for i := 0; i < n; i++ {
+			idx[i] = i
+			res[i] = fieldmat.MatVec(f, shards[i], w)
+		}
+		nErr := r.Intn(maxErr + 1)
+		corruptPos := r.Perm(n)[:nErr]
+		for _, p := range corruptPos {
+			res[p] = field.CopyVec(res[p])
+			res[p][r.Intn(len(res[p]))] = f.Add(res[p][0], f.RandNonZero(r))
+		}
+		got, bad, err := code.DecodeConcatWithErrors(idx, res, maxErr, r)
+		if err != nil {
+			return false
+		}
+		if !field.EqualVec(got, fieldmat.MatVec(f, x, w)) {
+			return false
+		}
+		// Flagged positions must be a subset of the corrupted ones (a
+		// corruption can coincidentally leave a valid-looking projection
+		// with prob ~1/q, never flagging an honest worker is the invariant).
+		corrupted := map[int]bool{}
+		for _, p := range corruptPos {
+			corrupted[p] = true
+		}
+		for _, p := range bad {
+			if !corrupted[p] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorColumnsSumToOneAtSystematicPoints(t *testing.T) {
+	// ℓ_j(β_i) = δ_ij: at T = 0 the first K generator columns form the
+	// identity — the algebraic root of systematicity, checked across sizes.
+	for _, cfg := range []struct{ n, k int }{{5, 3}, {12, 9}, {7, 1}, {6, 6}} {
+		code, err := New(f, cfg.n, cfg.k, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := fieldmat.Rand(f, rand.New(rand.NewSource(1)), cfg.k, 2)
+		blocks := fieldmat.SplitRows(x, cfg.k)
+		shards, err := code.EncodeBlocks(blocks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cfg.k; i++ {
+			if !shards[i].Equal(blocks[i]) {
+				t.Fatalf("(%d,%d): shard %d not systematic", cfg.n, cfg.k, i)
+			}
+		}
+	}
+}

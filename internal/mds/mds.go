@@ -1,0 +1,174 @@
+// Package mds implements the (N,K) systematic MDS row-block code AVCC uses
+// for linear computations (deg f = 1, T = 0), per Section IV-A of the paper.
+//
+// The dataset X is split into K equal row blocks X_1..X_K and the i-th
+// worker receives X̃_i = Σ_j G[j][i]·X_j. The generator is built from
+// Lagrange basis polynomials on distinct points, G[j][i] = ℓ_j(α_i) with the
+// data points β_j = α_j for j ≤ K, which makes the code systematic
+// (X̃_i = X_i for i ≤ K, exactly the (3,2) example in the paper's Fig. 1:
+// X̃_1 = X_1, X̃_2 = X_2, X̃_3 = X_1 + X_2 up to the choice of points) and
+// guarantees the defining MDS property: any K columns of G are linearly
+// independent, so the master can decode from ANY K verified worker results.
+//
+// The same code encodes Xᵀ row-blocks for the second logistic-regression
+// round (g = Xᵀe); the codec is agnostic to which matrix it shards.
+package mds
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// Code is an immutable (N,K) systematic MDS code over a prime field.
+type Code struct {
+	f *field.Field
+	n int
+	k int
+	// gen is the K×N generator matrix; column i holds the combination
+	// coefficients of worker i's shard.
+	gen *fieldmat.Matrix
+}
+
+// New constructs an (n, k) code. It requires 1 ≤ k ≤ n and n < q (distinct
+// evaluation points must exist).
+func New(f *field.Field, n, k int) (*Code, error) {
+	if k < 1 || n < k {
+		return nil, fmt.Errorf("mds: invalid parameters (N,K) = (%d,%d)", n, k)
+	}
+	if uint64(n) >= f.Q() {
+		return nil, fmt.Errorf("mds: N = %d does not fit in field of size %d", n, f.Q())
+	}
+	alphas := f.DistinctPoints(n, 1) // α_i = i+1; β_j = α_j for j < k
+	betas := alphas[:k]
+	gen := fieldmat.NewMatrix(k, n)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			gen.Set(j, i, lagrangeCoeff(f, betas, j, alphas[i]))
+		}
+	}
+	return &Code{f: f, n: n, k: k, gen: gen}, nil
+}
+
+// lagrangeCoeff evaluates ℓ_j(z) over the points in betas.
+func lagrangeCoeff(f *field.Field, betas []field.Elem, j int, z field.Elem) field.Elem {
+	num := field.Elem(1)
+	den := field.Elem(1)
+	for m, bm := range betas {
+		if m == j {
+			continue
+		}
+		num = f.Mul(num, f.Sub(z, bm))
+		den = f.Mul(den, f.Sub(betas[j], bm))
+	}
+	return f.Div(num, den)
+}
+
+// N returns the code length (number of workers).
+func (c *Code) N() int { return c.n }
+
+// K returns the code dimension (number of data blocks).
+func (c *Code) K() int { return c.k }
+
+// Field returns the underlying field.
+func (c *Code) Field() *field.Field { return c.f }
+
+// Generator returns a copy of the K×N generator matrix.
+func (c *Code) Generator() *fieldmat.Matrix { return c.gen.Clone() }
+
+// EncodeBlocks maps K equal-shape data blocks to N coded shards.
+func (c *Code) EncodeBlocks(blocks []*fieldmat.Matrix) ([]*fieldmat.Matrix, error) {
+	if len(blocks) != c.k {
+		return nil, fmt.Errorf("mds: got %d blocks, code dimension is %d", len(blocks), c.k)
+	}
+	rows, cols := blocks[0].Rows, blocks[0].Cols
+	for _, b := range blocks {
+		if b.Rows != rows || b.Cols != cols {
+			return nil, fmt.Errorf("mds: blocks have unequal shapes")
+		}
+	}
+	shards := make([]*fieldmat.Matrix, c.n)
+	for i := 0; i < c.n; i++ {
+		sh := fieldmat.NewMatrix(rows, cols)
+		for j := 0; j < c.k; j++ {
+			coef := c.gen.At(j, i)
+			if coef == 0 {
+				continue
+			}
+			sh.AXPY(c.f, coef, blocks[j])
+		}
+		shards[i] = sh
+	}
+	return shards, nil
+}
+
+// EncodeMatrix splits x into K row blocks and encodes them. The row count
+// must be divisible by K (callers pad if needed; the experiment harness
+// always picks divisible shapes, as the paper does with m = 6000, K = 9 via
+// padding to 6003 — see internal/dataset).
+func (c *Code) EncodeMatrix(x *fieldmat.Matrix) ([]*fieldmat.Matrix, error) {
+	if x.Rows%c.k != 0 {
+		return nil, fmt.Errorf("mds: %d rows not divisible by K = %d", x.Rows, c.k)
+	}
+	return c.EncodeBlocks(fieldmat.SplitRows(x, c.k))
+}
+
+// DecodeVectors recovers the K per-block results Y_1..Y_K from exactly K
+// verified worker results: results[r] = Σ_j G[j][workers[r]]·Y_j. This is
+// the paper's step 4 — multiply by the inverse of the K×K submatrix of the
+// generator selected by the verified workers' indices.
+func (c *Code) DecodeVectors(workers []int, results [][]field.Elem) ([][]field.Elem, error) {
+	if len(workers) != c.k || len(results) != c.k {
+		return nil, fmt.Errorf("mds: decode needs exactly K = %d results, got %d", c.k, len(workers))
+	}
+	seen := make(map[int]bool, c.k)
+	dim := len(results[0])
+	for r, w := range workers {
+		if w < 0 || w >= c.n {
+			return nil, fmt.Errorf("mds: worker index %d out of range [0,%d)", w, c.n)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("mds: duplicate worker index %d", w)
+		}
+		seen[w] = true
+		if len(results[r]) != dim {
+			return nil, fmt.Errorf("mds: ragged result vectors")
+		}
+	}
+	// A[r][j] = G[j][workers[r]]; R = A·Y.
+	a := fieldmat.NewMatrix(c.k, c.k)
+	rmat := fieldmat.NewMatrix(c.k, dim)
+	for r, w := range workers {
+		for j := 0; j < c.k; j++ {
+			a.Set(r, j, c.gen.At(j, w))
+		}
+		copy(rmat.Row(r), results[r])
+	}
+	y, err := fieldmat.SolveMatrix(c.f, a, rmat)
+	if err != nil {
+		// Any K columns of the generator are independent by construction,
+		// so this indicates corrupted inputs, not bad luck.
+		return nil, fmt.Errorf("mds: decode system singular (corrupted inputs?): %w", err)
+	}
+	out := make([][]field.Elem, c.k)
+	for j := 0; j < c.k; j++ {
+		out[j] = field.CopyVec(y.Row(j))
+	}
+	return out, nil
+}
+
+// DecodeConcat decodes like DecodeVectors and concatenates the block results
+// into one vector — the shape the logistic-regression master consumes
+// (z = Xw as a single length-m vector).
+func (c *Code) DecodeConcat(workers []int, results [][]field.Elem) ([]field.Elem, error) {
+	blocks, err := c.DecodeVectors(workers, results)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]field.Elem, 0, len(blocks)*len(blocks[0]))
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func record(iter int, time, acc float64) IterationRecord {
+	return IterationRecord{Iter: iter, Time: time, TestAccuracy: acc}
+}
+
+func TestBreakdownAddScale(t *testing.T) {
+	a := Breakdown{Compute: 1, Comm: 2, Verify: 3, Decode: 4, Wall: 10}
+	b := Breakdown{Compute: 1, Comm: 1, Verify: 1, Decode: 1, Wall: 1}
+	a.Add(b)
+	if a.Compute != 2 || a.Comm != 3 || a.Verify != 4 || a.Decode != 5 || a.Wall != 11 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	s := a.Scale(2)
+	if s.Compute != 1 || s.Wall != 5.5 {
+		t.Fatalf("Scale wrong: %+v", s)
+	}
+	if z := a.Scale(0); z.Wall != 0 {
+		t.Fatal("Scale(0) should zero out")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := Breakdown{Compute: 0.5}.String()
+	if !strings.Contains(s, "compute=0.5") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSeriesAccessorsEmpty(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.FinalAccuracy() != 0 || s.TotalTime() != 0 {
+		t.Fatal("empty series accessors should be zero")
+	}
+	if _, ok := s.TimeToAccuracy(0.5); ok {
+		t.Fatal("empty series cannot reach accuracy")
+	}
+	if b := s.MeanBreakdown(); b.Wall != 0 {
+		t.Fatal("empty mean breakdown should be zero")
+	}
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	s := &Series{Records: []IterationRecord{
+		record(0, 1.0, 0.5),
+		record(1, 2.0, 0.8),
+		record(2, 3.0, 0.7), // dips
+		record(3, 4.0, 0.9),
+	}}
+	if tt, ok := s.TimeToAccuracy(0.8); !ok || tt != 2.0 {
+		t.Fatalf("TimeToAccuracy(0.8) = %v,%v", tt, ok)
+	}
+	if tt, ok := s.TimeToAccuracy(0.85); !ok || tt != 4.0 {
+		t.Fatalf("TimeToAccuracy(0.85) = %v,%v", tt, ok)
+	}
+	if _, ok := s.TimeToAccuracy(0.95); ok {
+		t.Fatal("unreachable accuracy reported as reached")
+	}
+	if s.FinalAccuracy() != 0.9 || s.TotalTime() != 4.0 {
+		t.Fatal("final accessors wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	fast := &Series{Records: []IterationRecord{record(0, 1, 0.9), record(1, 2, 0.95)}}
+	slow := &Series{Records: []IterationRecord{record(0, 5, 0.9), record(1, 10, 0.95)}}
+	if sp := Speedup(fast, slow, 0.9); sp != 5 {
+		t.Fatalf("speedup = %v, want 5", sp)
+	}
+	// Baseline never reaches the target: fall back to total-time ratio.
+	never := &Series{Records: []IterationRecord{record(0, 5, 0.5), record(1, 10, 0.5)}}
+	if sp := Speedup(fast, never, 0.9); sp != 5 {
+		t.Fatalf("fallback speedup = %v, want 5", sp)
+	}
+	empty := &Series{}
+	if sp := Speedup(empty, slow, 0.9); sp != 0 {
+		t.Fatalf("degenerate speedup = %v, want 0", sp)
+	}
+}
+
+func TestMeanBreakdown(t *testing.T) {
+	s := &Series{Records: []IterationRecord{
+		{Breakdown: Breakdown{Compute: 2, Wall: 4}},
+		{Breakdown: Breakdown{Compute: 4, Wall: 8}},
+	}}
+	m := s.MeanBreakdown()
+	if m.Compute != 3 || m.Wall != 6 {
+		t.Fatalf("mean = %+v", m)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := &Series{Name: "avcc", Records: []IterationRecord{
+		{Iter: 0, Time: 1.5, TestAccuracy: 0.75, TrainLoss: 0.3,
+			Breakdown: Breakdown{Compute: 0.1, Comm: 0.2, Verify: 0.01, Decode: 0.02, Wall: 0.5}},
+	}}
+	out := s.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "iter,time,accuracy") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,1.500000,0.750000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSpeedupSymmetryProperty(t *testing.T) {
+	// speedup(a,b) * speedup(b,a) == 1 when both reach the target.
+	a := &Series{Records: []IterationRecord{record(0, 2, 0.9)}}
+	b := &Series{Records: []IterationRecord{record(0, 3, 0.9)}}
+	prod := Speedup(a, b, 0.9) * Speedup(b, a, 0.9)
+	if math.Abs(prod-1) > 1e-12 {
+		t.Fatalf("speedup product = %v", prod)
+	}
+}

@@ -1,0 +1,111 @@
+package poly
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// Berlekamp–Welch decoding of Reed–Solomon codes under worst-case errors.
+//
+// This is the machinery the *LCC baseline* relies on to tolerate Byzantine
+// workers, and the algebraic reason LCC pays 2M extra workers per M
+// adversaries (paper eq. 1): recovering a degree-(k−1) polynomial from n
+// evaluations of which e are arbitrarily wrong requires n ≥ k + 2e. AVCC
+// sidesteps this entirely by discarding unverified results and paying only
+// M (paper eq. 2); implementing both lets the benchmarks show the gap.
+
+// ErrDecodeFailed reports that no polynomial of the stated degree agrees
+// with enough of the received points — more errors occurred than the code
+// can correct.
+var ErrDecodeFailed = errors.New("poly: Berlekamp–Welch decoding failed")
+
+// DecodeBW recovers the unique polynomial P with deg P < k from points
+// (xs[i], ys[i]) of which at most maxErrors are corrupted. It requires
+// len(xs) ≥ k + 2·maxErrors and returns ErrDecodeFailed if the received
+// word is not within maxErrors of any codeword.
+func DecodeBW(f *field.Field, xs, ys []field.Elem, k, maxErrors int) (Poly, error) {
+	n := len(xs)
+	if len(ys) != n {
+		panic("poly: DecodeBW length mismatch")
+	}
+	if k <= 0 {
+		panic("poly: DecodeBW needs k >= 1")
+	}
+	if maxErrors < 0 {
+		panic("poly: DecodeBW negative error bound")
+	}
+	if n < k+2*maxErrors {
+		return nil, fmt.Errorf("poly: %d points cannot correct %d errors at dimension %d (need %d): %w",
+			n, maxErrors, k, k+2*maxErrors, ErrDecodeFailed)
+	}
+
+	// Try the largest error-locator degree first; if the key equation is
+	// inconsistent (which can happen only when fewer errors than guessed
+	// occurred in degenerate positions), step down.
+	for e := maxErrors; e >= 0; e-- {
+		p, err := bwAttempt(f, xs, ys, k, e)
+		if err == nil {
+			if countDisagreements(f, p, xs, ys) <= maxErrors {
+				return p, nil
+			}
+			continue
+		}
+	}
+	return nil, ErrDecodeFailed
+}
+
+// bwAttempt solves the key equation Q(x_i) = y_i·E(x_i) with E monic of
+// degree exactly e and deg Q < k+e, then returns P = Q/E.
+func bwAttempt(f *field.Field, xs, ys []field.Elem, k, e int) (Poly, error) {
+	n := len(xs)
+	qLen := k + e // unknown coefficients of Q
+	cols := qLen + e
+	a := fieldmat.NewMatrix(n, cols)
+	b := make([]field.Elem, n)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		// Q coefficients: x^0 .. x^{k+e-1}
+		p := field.Elem(1)
+		for j := 0; j < qLen; j++ {
+			row[j] = p
+			p = f.Mul(p, xs[i])
+		}
+		// E coefficients e_0..e_{e-1} move to the LHS as −y_i·x^j;
+		// the monic term y_i·x^e goes to the RHS.
+		p = 1
+		for j := 0; j < e; j++ {
+			row[qLen+j] = f.Neg(f.Mul(ys[i], p))
+			p = f.Mul(p, xs[i])
+		}
+		b[i] = f.Mul(ys[i], p) // y_i·x_i^e
+	}
+	sol, err := fieldmat.SolveAny(f, a, b)
+	if err != nil {
+		return nil, err
+	}
+	q := Normalize(Poly(sol[:qLen]))
+	eloc := make(Poly, e+1)
+	copy(eloc, sol[qLen:])
+	eloc[e] = 1 // monic
+	quo, rem := DivMod(f, q, eloc)
+	if len(Normalize(rem)) != 0 {
+		return nil, ErrDecodeFailed
+	}
+	if quo.Degree() >= k {
+		return nil, ErrDecodeFailed
+	}
+	return quo, nil
+}
+
+func countDisagreements(f *field.Field, p Poly, xs, ys []field.Elem) int {
+	bad := 0
+	for i := range xs {
+		if p.Eval(f, xs[i]) != ys[i] {
+			bad++
+		}
+	}
+	return bad
+}

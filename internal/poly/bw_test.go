@@ -1,0 +1,157 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// corrupt flips `count` distinct positions of ys to random wrong values.
+func corrupt(rng *rand.Rand, ys []uint64, count int) {
+	idx := rng.Perm(len(ys))[:count]
+	for _, i := range idx {
+		orig := ys[i]
+		for {
+			v := f.Rand(rng)
+			if v != orig {
+				ys[i] = v
+				break
+			}
+		}
+	}
+}
+
+func TestBWNoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	p := randPoly(rng, 8) // k = 9
+	xs := f.DistinctPoints(13, 1)
+	ys := p.EvalMany(f, xs)
+	got, err := DecodeBW(f, xs, ys, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, p) {
+		t.Fatal("BW failed with zero errors")
+	}
+}
+
+func TestBWCorrectsUpToMaxErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(6)
+		e := rng.Intn(3)
+		n := k + 2*e + rng.Intn(3) // some slack
+		p := randPoly(rng, k-1)
+		xs := f.DistinctPoints(n, uint64(1+rng.Intn(50)))
+		ys := p.EvalMany(f, xs)
+		actualErrs := 0
+		if e > 0 {
+			actualErrs = 1 + rng.Intn(e)
+			corrupt(rng, ys, actualErrs)
+		}
+		got, err := DecodeBW(f, xs, ys, k, e)
+		if err != nil {
+			t.Fatalf("k=%d e=%d actual=%d n=%d: %v", k, e, actualErrs, n, err)
+		}
+		if !Equal(got, p) {
+			t.Fatalf("k=%d e=%d actual=%d: wrong polynomial", k, e, actualErrs)
+		}
+	}
+}
+
+func TestBWExactBudget(t *testing.T) {
+	// n = k + 2e exactly — the paper's LCC constraint (eq. 1) with S=0, T=0.
+	rng := rand.New(rand.NewSource(52))
+	k, e := 9, 1
+	p := randPoly(rng, k-1)
+	xs := f.DistinctPoints(k+2*e, 1)
+	ys := p.EvalMany(f, xs)
+	corrupt(rng, ys, e)
+	got, err := DecodeBW(f, xs, ys, k, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, p) {
+		t.Fatal("BW failed at the exact n = k + 2e budget")
+	}
+}
+
+func TestBWTooFewPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	p := randPoly(rng, 8)
+	xs := f.DistinctPoints(10, 1)
+	ys := p.EvalMany(f, xs)
+	// k + 2e = 9 + 4 = 13 > 10 points: must refuse.
+	if _, err := DecodeBW(f, xs, ys, 9, 2); !errors.Is(err, ErrDecodeFailed) {
+		t.Fatalf("expected ErrDecodeFailed, got %v", err)
+	}
+}
+
+func TestBWTooManyErrorsFails(t *testing.T) {
+	// With e+1 corruptions under an e-error budget, BW must either fail or
+	// return a polynomial that is NOT accepted as the original. (It cannot
+	// silently return the right answer reliably; here we assert it does not
+	// return a WRONG answer claiming success with the true error count
+	// within budget — i.e. the returned poly, if any, disagrees with > e
+	// points of the original codeword.)
+	rng := rand.New(rand.NewSource(54))
+	k, e := 5, 1
+	p := randPoly(rng, k-1)
+	xs := f.DistinctPoints(k+2*e, 1)
+	ys := p.EvalMany(f, xs)
+	corrupt(rng, ys, e+1)
+	got, err := DecodeBW(f, xs, ys, k, e)
+	if err == nil && Equal(got, p) {
+		t.Fatal("BW claimed to correct more errors than its budget allows (lucky draw would be 1/q^2)")
+	}
+}
+
+func TestBWZeroErrorBudgetIsInterpolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	p := randPoly(rng, 4)
+	xs := f.DistinctPoints(5, 1)
+	ys := p.EvalMany(f, xs)
+	got, err := DecodeBW(f, xs, ys, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, p) {
+		t.Fatal("BW with e=0 should reduce to interpolation")
+	}
+}
+
+func TestBWBurstAtStart(t *testing.T) {
+	// Errors in the first positions (systematic part) — position must not
+	// matter for BW.
+	rng := rand.New(rand.NewSource(56))
+	k, e := 6, 2
+	p := randPoly(rng, k-1)
+	xs := f.DistinctPoints(k+2*e, 1)
+	ys := p.EvalMany(f, xs)
+	for i := 0; i < e; i++ {
+		ys[i] = f.Add(ys[i], 1)
+	}
+	got, err := DecodeBW(f, xs, ys, k, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, p) {
+		t.Fatal("BW failed on burst errors")
+	}
+}
+
+func BenchmarkBW12Workers1Error(b *testing.B) {
+	rng := rand.New(rand.NewSource(57))
+	k, e := 9, 1
+	p := randPoly(rng, k-1)
+	xs := f.DistinctPoints(k+2*e+1, 1)
+	ys := p.EvalMany(f, xs)
+	corrupt(rng, ys, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBW(f, xs, ys, k, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

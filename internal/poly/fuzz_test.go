@@ -1,0 +1,53 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Native fuzz targets; the seed corpus runs under plain `go test`, and
+// `go test -fuzz=FuzzX ./internal/poly` explores further.
+
+// FuzzInterpolateRoundTrip: interpolation through deg+1 evaluations of an
+// arbitrary polynomial must recover it exactly — the decode primitive of
+// every code in the repository, explored over random coefficients.
+func FuzzInterpolateRoundTrip(fz *testing.F) {
+	fz.Add(int64(1), uint8(3))
+	fz.Add(int64(42), uint8(0))
+	fz.Add(int64(-7), uint8(11))
+	fz.Fuzz(func(t *testing.T, seed int64, degRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		deg := int(degRaw % 12)
+		p := randPoly(rng, deg)
+		xs := f.DistinctPoints(deg+1, uint64(1+rng.Intn(64)))
+		ys := p.EvalMany(f, xs)
+		got := Interpolate(f, xs, ys)
+		if !Equal(got, p) {
+			t.Fatalf("interpolation failed at degree %d", deg)
+		}
+	})
+}
+
+// FuzzBWOneError: Berlekamp–Welch must correct one arbitrary corruption at
+// an arbitrary position of an arbitrary codeword.
+func FuzzBWOneError(fz *testing.F) {
+	fz.Add(int64(1), uint8(0), uint64(5))
+	fz.Add(int64(9), uint8(7), uint64(1))
+	fz.Fuzz(func(t *testing.T, seed int64, posRaw uint8, delta uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(5)
+		n := k + 2
+		p := randPoly(rng, k-1)
+		xs := f.DistinctPoints(n, 1)
+		ys := p.EvalMany(f, xs)
+		pos := int(posRaw) % n
+		ys[pos] = f.Add(ys[pos], 1+delta%(f.Q()-1))
+		got, err := DecodeBW(f, xs, ys, k, 1)
+		if err != nil {
+			t.Fatalf("BW failed: %v", err)
+		}
+		if !Equal(got, p) {
+			t.Fatal("BW returned the wrong polynomial")
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+var f = field.Default()
+
+func randPoly(rng *rand.Rand, deg int) Poly {
+	p := make(Poly, deg+1)
+	for i := range p {
+		p[i] = f.Rand(rng)
+	}
+	p[deg] = f.RandNonZero(rng)
+	return p
+}
+
+func TestNormalize(t *testing.T) {
+	p := Poly{1, 2, 0, 0}
+	if got := Normalize(p); len(got) != 2 {
+		t.Fatalf("Normalize left %d coeffs", len(got))
+	}
+	if Normalize(Poly{0, 0}).Degree() != -1 {
+		t.Fatal("zero polynomial degree should be -1")
+	}
+}
+
+func TestEvalKnown(t *testing.T) {
+	// p(z) = 3 + 2z + z^2, p(5) = 3 + 10 + 25 = 38
+	p := Poly{3, 2, 1}
+	if got := p.Eval(f, 5); got != 38 {
+		t.Fatalf("Eval = %d, want 38", got)
+	}
+	if got := Poly(nil).Eval(f, 7); got != 0 {
+		t.Fatalf("zero poly eval = %d", got)
+	}
+}
+
+func TestAddScaleMulProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPoly(r, r.Intn(6))
+		q := randPoly(r, r.Intn(6))
+		z := f.Rand(r)
+		c := f.Rand(r)
+		// Evaluation is a ring homomorphism.
+		if Add(f, p, q).Eval(f, z) != f.Add(p.Eval(f, z), q.Eval(f, z)) {
+			return false
+		}
+		if Mul(f, p, q).Eval(f, z) != f.Mul(p.Eval(f, z), q.Eval(f, z)) {
+			return false
+		}
+		if Scale(f, c, p).Eval(f, z) != f.Mul(c, p.Eval(f, z)) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := randPoly(rng, 3)
+	q := randPoly(rng, 4)
+	if got := Mul(f, p, q).Degree(); got != 7 {
+		t.Fatalf("deg(p·q) = %d, want 7", got)
+	}
+	if Mul(f, p, nil) != nil {
+		t.Fatal("p·0 should be the zero polynomial")
+	}
+}
+
+func TestDivModRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		p := randPoly(rng, rng.Intn(8))
+		d := randPoly(rng, rng.Intn(4))
+		quo, rem := DivMod(f, p, d)
+		if rem.Degree() >= d.Degree() {
+			t.Fatalf("deg rem %d >= deg d %d", rem.Degree(), d.Degree())
+		}
+		back := Add(f, Mul(f, quo, d), rem)
+		if !Equal(back, p) {
+			t.Fatalf("q·d + r != p")
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DivMod(f, Poly{1, 2}, Poly{0, 0})
+}
+
+func TestInterpolateRecoversPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		deg := rng.Intn(10)
+		p := randPoly(rng, deg)
+		xs := f.DistinctPoints(deg+1, uint64(1+rng.Intn(100)))
+		ys := p.EvalMany(f, xs)
+		got := Interpolate(f, xs, ys)
+		if !Equal(got, p) {
+			t.Fatalf("interpolation failed to recover degree-%d poly", deg)
+		}
+	}
+}
+
+func TestInterpolateExtraPointsStillOnCurve(t *testing.T) {
+	// Interpolating through deg+1 points and evaluating elsewhere must
+	// reproduce the original polynomial's values — this IS the decode
+	// correctness of both MDS and LCC.
+	rng := rand.New(rand.NewSource(44))
+	p := randPoly(rng, 8)
+	xs := f.DistinctPoints(9, 1)
+	ys := p.EvalMany(f, xs)
+	q := Interpolate(f, xs, ys)
+	for z := uint64(100); z < 120; z++ {
+		if q.Eval(f, z) != p.Eval(f, z) {
+			t.Fatal("interpolant diverges off the sample points")
+		}
+	}
+}
+
+func TestLagrangeBasisKroneckerDelta(t *testing.T) {
+	xs := f.DistinctPoints(7, 5)
+	for j := range xs {
+		lj := LagrangeBasis(f, xs, j)
+		for k, xk := range xs {
+			want := field.Elem(0)
+			if k == j {
+				want = 1
+			}
+			if got := lj.Eval(f, xk); got != want {
+				t.Fatalf("ℓ_%d(x_%d) = %d, want %d", j, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalLagrangeMatchesInterpolate(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	p := randPoly(rng, 5)
+	xs := f.DistinctPoints(6, 3)
+	ys := p.EvalMany(f, xs)
+	for z := uint64(50); z < 60; z++ {
+		direct := EvalLagrange(f, xs, ys, z)
+		viaCoeffs := Interpolate(f, xs, ys).Eval(f, z)
+		if direct != viaCoeffs {
+			t.Fatal("EvalLagrange disagrees with coefficient interpolation")
+		}
+	}
+}
+
+func TestInterpWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	p := randPoly(rng, 6)
+	xs := f.DistinctPoints(7, 2)
+	ys := p.EvalMany(f, xs)
+	for z := uint64(30); z < 40; z++ {
+		w := InterpWeights(f, xs, z)
+		var acc field.Elem
+		for j := range w {
+			acc = f.Add(acc, f.Mul(w[j], ys[j]))
+		}
+		if acc != p.Eval(f, z) {
+			t.Fatal("InterpWeights reconstruction mismatch")
+		}
+	}
+}
+
+func TestCombineVectorsMatchesComponentwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const dim = 5
+	// Vector-valued polynomial = dim scalar polynomials.
+	polys := make([]Poly, dim)
+	for i := range polys {
+		polys[i] = randPoly(rng, 4)
+	}
+	xs := f.DistinctPoints(5, 1)
+	vecs := make([][]field.Elem, len(xs))
+	for i, x := range xs {
+		v := make([]field.Elem, dim)
+		for c := range polys {
+			v[c] = polys[c].Eval(f, x)
+		}
+		vecs[i] = v
+	}
+	target := field.Elem(77)
+	got := CombineVectors(f, InterpWeights(f, xs, target), vecs)
+	for c := range polys {
+		if got[c] != polys[c].Eval(f, target) {
+			t.Fatal("vector combine mismatch at component")
+		}
+	}
+}
+
+func BenchmarkInterpolate12(b *testing.B) {
+	rng := rand.New(rand.NewSource(48))
+	p := randPoly(rng, 11)
+	xs := f.DistinctPoints(12, 1)
+	ys := p.EvalMany(f, xs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Interpolate(f, xs, ys)
+	}
+}

@@ -1,0 +1,52 @@
+package poly
+
+import "repro/internal/field"
+
+// Vector-valued interpolation support. Worker results are vectors over F_q
+// (e.g. X̃_i·w ∈ F_q^{m/K}); interpolating the vector-valued polynomial
+// f(u(z)) component-wise and evaluating it at a data point β reduces to a
+// single weighted sum Σ_j w_j·ys_j where the weights depend only on the
+// interpolation points and β. Precomputing them turns LCC decode into one
+// pass of AXPYs per output block.
+
+// InterpWeights returns weights w with value(target) = Σ_j w[j]·y_j for the
+// unique interpolant through the distinct points xs. w[j] = ℓ_j(target).
+func InterpWeights(f *field.Field, xs []field.Elem, target field.Elem) []field.Elem {
+	n := len(xs)
+	w := make([]field.Elem, n)
+	for j := 0; j < n; j++ {
+		num := field.Elem(1)
+		den := field.Elem(1)
+		for k, xk := range xs {
+			if k == j {
+				continue
+			}
+			num = f.Mul(num, f.Sub(target, xk))
+			den = f.Mul(den, f.Sub(xs[j], xk))
+		}
+		w[j] = f.Div(num, den)
+	}
+	return w
+}
+
+// CombineVectors returns Σ_j w[j]·vecs[j], the vector-valued evaluation that
+// pairs with InterpWeights. All vectors must share a length.
+func CombineVectors(f *field.Field, w []field.Elem, vecs [][]field.Elem) []field.Elem {
+	if len(w) != len(vecs) {
+		panic("poly: CombineVectors length mismatch")
+	}
+	if len(vecs) == 0 {
+		return nil
+	}
+	out := make([]field.Elem, len(vecs[0]))
+	for j, wj := range w {
+		if len(vecs[j]) != len(out) {
+			panic("poly: CombineVectors ragged vectors")
+		}
+		if wj == 0 {
+			continue
+		}
+		f.AXPY(out, wj, vecs[j])
+	}
+	return out
+}

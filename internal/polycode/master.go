@@ -1,0 +1,213 @@
+package polycode
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// MatMulMaster runs AVCC-style verified coded matrix multiplication: encode
+// A and B with a polynomial code, verify each arriving C̃_i with a Freivalds
+// product check, decode C = A·B from the first p·q verified results. The
+// eq.-2 economics carry over unchanged: N ≥ p·q + S + M workers tolerate S
+// stragglers and M Byzantines.
+type MatMulMaster struct {
+	f         *field.Field
+	code      *Code
+	opt       MatMulOptions
+	shards    []Shard
+	keys      []*ProductKey
+	behaviors []attack.Behavior
+	straggler attack.StragglerSchedule
+	rng       *rand.Rand
+	blockRows int
+	blockCols int
+	origRows  int
+	origCols  int
+}
+
+// MatMulOptions configure a verified matmul deployment.
+type MatMulOptions struct {
+	// N workers; P×Q split; S/M budgets (informational — the master simply
+	// waits for the threshold of verified results, trading S for M exactly
+	// as the AVCC master does).
+	N, P, Q, S, M int
+	// Sim is the latency model.
+	Sim simnet.Config
+	// Seed drives keys and jitter.
+	Seed int64
+}
+
+// Feasible reports N ≥ P·Q + S + M.
+func (o MatMulOptions) Feasible() bool { return o.N >= o.P*o.Q+o.S+o.M }
+
+// MatMulResult is one completed verified multiplication.
+type MatMulResult struct {
+	// C is the assembled product, trimmed to the original shape.
+	C *fieldmat.Matrix
+	// Breakdown, Used, Byzantine as elsewhere.
+	Breakdown metrics.Breakdown
+	Used      []int
+	Byzantine []int
+}
+
+// NewMatMulMaster encodes a·b across N workers. Dimensions are zero-padded
+// to divisibility internally and trimmed on decode.
+func NewMatMulMaster(f *field.Field, opt MatMulOptions, a, b *fieldmat.Matrix,
+	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (*MatMulMaster, error) {
+	if !opt.Feasible() {
+		return nil, fmt.Errorf("polycode: options %+v violate N >= PQ+S+M = %d", opt, opt.P*opt.Q+opt.S+opt.M)
+	}
+	if behaviors != nil && len(behaviors) != opt.N {
+		return nil, fmt.Errorf("polycode: %d behaviours for %d workers", len(behaviors), opt.N)
+	}
+	if !opt.Sim.Validate() {
+		return nil, fmt.Errorf("polycode: invalid latency model")
+	}
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("polycode: inner dimensions differ")
+	}
+	code, err := New(f, opt.N, opt.P, opt.Q)
+	if err != nil {
+		return nil, err
+	}
+	ap := padRows(a, opt.P)
+	bp := padCols(b, opt.Q)
+	shards, err := code.Encode(ap, bp)
+	if err != nil {
+		return nil, err
+	}
+	if stragglers == nil {
+		stragglers = attack.NoStragglers{}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	m := &MatMulMaster{
+		f:         f,
+		code:      code,
+		opt:       opt,
+		shards:    shards,
+		keys:      make([]*ProductKey, opt.N),
+		behaviors: behaviors,
+		straggler: stragglers,
+		rng:       rng,
+		blockRows: ap.Rows / opt.P,
+		blockCols: bp.Cols / opt.Q,
+		origRows:  a.Rows,
+		origCols:  b.Cols,
+	}
+	for i := range m.keys {
+		m.keys[i] = NewProductKey(f, rng, shards[i])
+	}
+	return m, nil
+}
+
+// Run executes one verified multiplication round in virtual time.
+func (m *MatMulMaster) Run(iter int) (*MatMulResult, error) {
+	q := simnet.NewQueue()
+	for i := 0; i < m.opt.N; i++ {
+		sh := m.shards[i]
+		honest := fieldmat.MatMul(m.f, sh.A, sh.B)
+		outVec := honest.Data
+		if m.behaviors != nil {
+			outVec = m.behaviors[i].Apply(m.f, iter, honest.Data)
+		}
+		ops := float64(sh.A.Rows) * float64(sh.A.Cols) * float64(sh.B.Cols)
+		compute := m.opt.Sim.ComputeTime(ops, m.straggler.IsStraggler(i, iter), m.rng)
+		comm := m.opt.Sim.CommTime(len(sh.A.Data)+len(sh.B.Data)) + m.opt.Sim.CommTime(len(outVec))
+		q.Push(comm+compute, i, payload{out: outVec, compute: compute, comm: comm})
+	}
+
+	threshold := m.code.Threshold()
+	res := &MatMulResult{}
+	var masterFree, maxCompute, maxComm float64
+	var usedWorkers []int
+	var usedOutputs [][]field.Elem
+	for {
+		arr, ok := q.Pop()
+		if !ok || len(usedWorkers) == threshold {
+			break
+		}
+		p := arr.Payload.(payload)
+		start := arr.At
+		if masterFree > start {
+			start = masterFree
+		}
+		checkTime := m.opt.Sim.MasterTime(float64(m.blockRows)*float64(m.blockCols) +
+			float64(m.blockRows) + float64(m.blockCols))
+		masterFree = start + checkTime
+		res.Breakdown.Verify += checkTime
+		if m.keys[arr.Worker].Check(p.out) {
+			usedWorkers = append(usedWorkers, arr.Worker)
+			usedOutputs = append(usedOutputs, p.out)
+			if p.compute > maxCompute {
+				maxCompute = p.compute
+			}
+			if p.comm > maxComm {
+				maxComm = p.comm
+			}
+		} else {
+			res.Byzantine = append(res.Byzantine, arr.Worker)
+		}
+	}
+	if len(usedWorkers) < threshold {
+		return nil, fmt.Errorf("polycode: only %d verified results, need %d", len(usedWorkers), threshold)
+	}
+	c, err := m.code.Decode(usedWorkers, usedOutputs, m.blockRows, m.blockCols)
+	if err != nil {
+		return nil, err
+	}
+	decodeOps := float64(threshold)*float64(m.blockRows*m.blockCols) + float64(threshold*threshold*threshold)
+	decodeTime := m.opt.Sim.MasterTime(decodeOps)
+
+	res.C = trim(c, m.origRows, m.origCols)
+	res.Used = usedWorkers
+	res.Breakdown.Compute = maxCompute
+	res.Breakdown.Comm = maxComm
+	res.Breakdown.Decode = decodeTime
+	res.Breakdown.Wall = masterFree + decodeTime
+	return res, nil
+}
+
+type payload struct {
+	out     []field.Elem
+	compute float64
+	comm    float64
+}
+
+func padRows(x *fieldmat.Matrix, p int) *fieldmat.Matrix {
+	if x.Rows%p == 0 {
+		return x
+	}
+	rows := ((x.Rows + p - 1) / p) * p
+	out := fieldmat.NewMatrix(rows, x.Cols)
+	copy(out.Data, x.Data)
+	return out
+}
+
+func padCols(x *fieldmat.Matrix, q int) *fieldmat.Matrix {
+	if x.Cols%q == 0 {
+		return x
+	}
+	cols := ((x.Cols + q - 1) / q) * q
+	out := fieldmat.NewMatrix(x.Rows, cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i)[:x.Cols], x.Row(i))
+	}
+	return out
+}
+
+func trim(x *fieldmat.Matrix, rows, cols int) *fieldmat.Matrix {
+	if x.Rows == rows && x.Cols == cols {
+		return x
+	}
+	out := fieldmat.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), x.Row(i)[:cols])
+	}
+	return out
+}

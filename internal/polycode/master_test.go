@@ -1,0 +1,167 @@
+package polycode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/fieldmat"
+	"repro/internal/simnet"
+)
+
+func quietSim() simnet.Config {
+	c := simnet.DefaultConfig()
+	c.JitterFrac = 0
+	c.LinkLatency = 1e-5
+	return c
+}
+
+func mmOpts(s, m int) MatMulOptions {
+	return MatMulOptions{N: 6 + s + m, P: 2, Q: 3, S: s, M: m, Sim: quietSim(), Seed: 9}
+}
+
+func TestMatMulMasterHonest(t *testing.T) {
+	rng := rand.New(rand.NewSource(610))
+	a := fieldmat.Rand(f, rng, 8, 6)
+	b := fieldmat.Rand(f, rng, 6, 9)
+	m, err := NewMatMulMaster(f, mmOpts(1, 1), a, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.C.Equal(fieldmat.MatMul(f, a, b)) {
+		t.Fatal("verified matmul wrong")
+	}
+	if len(out.Used) != 6 {
+		t.Fatalf("used %d, want threshold 6", len(out.Used))
+	}
+}
+
+func TestMatMulMasterByzantine(t *testing.T) {
+	rng := rand.New(rand.NewSource(611))
+	a := fieldmat.Rand(f, rng, 8, 6)
+	b := fieldmat.Rand(f, rng, 6, 9)
+	opt := mmOpts(0, 2)
+	behaviors := make([]attack.Behavior, opt.N)
+	for i := range behaviors {
+		behaviors[i] = attack.Honest{}
+	}
+	behaviors[1] = attack.ReverseValue{C: 1}
+	behaviors[4] = attack.Constant{V: 77}
+	m, err := NewMatMulMaster(f, opt, a, b, behaviors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.C.Equal(fieldmat.MatMul(f, a, b)) {
+		t.Fatal("matmul corrupted by Byzantines")
+	}
+	caught := map[int]bool{}
+	for _, id := range out.Byzantine {
+		caught[id] = true
+	}
+	if !caught[1] || !caught[4] {
+		t.Fatalf("flags %v, want {1,4}", out.Byzantine)
+	}
+}
+
+func TestMatMulMasterStraggler(t *testing.T) {
+	rng := rand.New(rand.NewSource(612))
+	a := fieldmat.Rand(f, rng, 32, 40)
+	b := fieldmat.Rand(f, rng, 40, 33)
+	m, err := NewMatMulMaster(f, mmOpts(1, 0), a, b, nil, attack.NewFixedStragglers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range out.Used {
+		if id == 2 {
+			t.Fatal("straggler on critical path")
+		}
+	}
+	if !out.C.Equal(fieldmat.MatMul(f, a, b)) {
+		t.Fatal("result wrong")
+	}
+}
+
+func TestMatMulMasterPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(613))
+	a := fieldmat.Rand(f, rng, 7, 5) // 7 % 2 != 0
+	b := fieldmat.Rand(f, rng, 5, 8) // 8 % 3 != 0
+	m, err := NewMatMulMaster(f, mmOpts(1, 1), a, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C.Rows != 7 || out.C.Cols != 8 {
+		t.Fatalf("shape (%d,%d), want (7,8)", out.C.Rows, out.C.Cols)
+	}
+	if !out.C.Equal(fieldmat.MatMul(f, a, b)) {
+		t.Fatal("padded matmul wrong")
+	}
+}
+
+func TestMatMulMasterValidation(t *testing.T) {
+	a := fieldmat.NewMatrix(4, 3)
+	b := fieldmat.NewMatrix(3, 6)
+	bad := mmOpts(1, 1)
+	bad.N = 6 // needs 8
+	if _, err := NewMatMulMaster(f, bad, a, b, nil, nil); err == nil {
+		t.Fatal("infeasible accepted")
+	}
+	if _, err := NewMatMulMaster(f, mmOpts(1, 1), a, fieldmat.NewMatrix(4, 6), nil, nil); err == nil {
+		t.Fatal("inner mismatch accepted")
+	}
+	if _, err := NewMatMulMaster(f, mmOpts(1, 1), a, b, make([]attack.Behavior, 1), nil); err == nil {
+		t.Fatal("behaviour mismatch accepted")
+	}
+}
+
+func TestMatMulMasterTooManyByzantine(t *testing.T) {
+	rng := rand.New(rand.NewSource(614))
+	a := fieldmat.Rand(f, rng, 4, 3)
+	b := fieldmat.Rand(f, rng, 3, 6)
+	opt := mmOpts(0, 1) // N = 7, threshold 6
+	behaviors := make([]attack.Behavior, opt.N)
+	for i := range behaviors {
+		behaviors[i] = attack.Honest{}
+	}
+	behaviors[0] = attack.Constant{V: 1}
+	behaviors[3] = attack.Constant{V: 2}
+	m, err := NewMatMulMaster(f, opt, a, b, behaviors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("succeeded without enough honest workers")
+	}
+}
+
+func BenchmarkMatMulMasterRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(615))
+	am := fieldmat.Rand(f, rng, 64, 64)
+	bm := fieldmat.Rand(f, rng, 64, 66)
+	m, err := NewMatMulMaster(f, mmOpts(1, 1), am, bm, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package polycode implements Polynomial Codes (Yu, Maddah-Ali, Avestimehr,
+// NeurIPS 2017) — the coded-computing substrate the paper's Background
+// (Section II-A) cites for straggler-tolerant *bilinear* computations — and
+// an AVCC-style verified master for distributed matrix-matrix
+// multiplication C = A·B, which the paper names as a computation AVCC is
+// "particularly suitable" for.
+//
+// Encoding: split A into p row blocks A_0..A_{p−1} and B into q column
+// blocks B_0..B_{q−1}. Worker i at evaluation point α_i receives
+//
+//	Ã_i = Σ_j A_j·α_i^j        (degree p−1 in α)
+//	B̃_i = Σ_k B_k·α_i^{p·k}   (degree p(q−1) in α)
+//
+// and computes C̃_i = Ã_i·B̃_i = Σ_{j,k} A_j·B_k·α_i^{j+p·k}. The exponents
+// j + p·k are distinct over j<p, k<q, so C̃ is the evaluation of a
+// polynomial whose p·q matrix coefficients are exactly the products
+// A_j·B_k; the blocks C_{j,k} = A_j·B_k of C are recovered by polynomial
+// interpolation from ANY p·q worker results — the optimal recovery
+// threshold for this bilinear problem.
+//
+// Verification (the AVCC twist): the master generated Ã_i and B̃_i itself,
+// so Freivalds' product check applies per worker: draw secret r, accept
+// C̃_i iff C̃_i·r == Ã_i·(B̃_i·r), at O(matrix surface) cost versus the
+// worker's O(volume) — a Byzantine therefore costs 1 extra worker here too.
+package polycode
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// Code is an immutable (N; p, q) polynomial code.
+type Code struct {
+	f      *field.Field
+	n      int
+	p, q   int
+	alphas []field.Elem
+	// vinv is the precomputed pq×pq inverse Vandermonde over the first
+	// threshold alphas — decode against arbitrary worker subsets builds its
+	// own system; this one serves the common fast path and tests.
+}
+
+// New constructs a polynomial code for p row blocks of A and q column
+// blocks of B across n workers. Requires n ≥ p·q.
+func New(f *field.Field, n, p, q int) (*Code, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("polycode: invalid split (p,q) = (%d,%d)", p, q)
+	}
+	if n < p*q {
+		return nil, fmt.Errorf("polycode: N = %d below recovery threshold pq = %d", n, p*q)
+	}
+	if uint64(n) >= f.Q() {
+		return nil, fmt.Errorf("polycode: N = %d does not fit the field", n)
+	}
+	return &Code{f: f, n: n, p: p, q: q, alphas: f.DistinctPoints(n, 1)}, nil
+}
+
+// N returns the number of workers.
+func (c *Code) N() int { return c.n }
+
+// Threshold returns the recovery threshold p·q.
+func (c *Code) Threshold() int { return c.p * c.q }
+
+// Shard is one worker's coded input pair.
+type Shard struct {
+	A *fieldmat.Matrix // (rowsA/p) × inner
+	B *fieldmat.Matrix // inner × (colsB/q)
+}
+
+// Encode splits a (rows×inner) and b (inner×cols) and produces the N coded
+// pairs. rows must divide by p and cols by q (callers pad).
+func (c *Code) Encode(a, b *fieldmat.Matrix) ([]Shard, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("polycode: inner dimensions %d and %d differ", a.Cols, b.Rows)
+	}
+	if a.Rows%c.p != 0 {
+		return nil, fmt.Errorf("polycode: %d rows of A not divisible by p = %d", a.Rows, c.p)
+	}
+	if b.Cols%c.q != 0 {
+		return nil, fmt.Errorf("polycode: %d cols of B not divisible by q = %d", b.Cols, c.q)
+	}
+	aBlocks := fieldmat.SplitRows(a, c.p)
+	// Column blocks of B = row blocks of Bᵀ, transposed back.
+	btBlocks := fieldmat.SplitRows(b.Transpose(), c.q)
+	bBlocks := make([]*fieldmat.Matrix, c.q)
+	for k, bt := range btBlocks {
+		bBlocks[k] = bt.Transpose()
+	}
+	shards := make([]Shard, c.n)
+	for i := 0; i < c.n; i++ {
+		alpha := c.alphas[i]
+		at := fieldmat.NewMatrix(aBlocks[0].Rows, a.Cols)
+		pow := field.Elem(1)
+		for j := 0; j < c.p; j++ {
+			at.AXPY(c.f, pow, aBlocks[j])
+			pow = c.f.Mul(pow, alpha)
+		}
+		bt := fieldmat.NewMatrix(b.Rows, bBlocks[0].Cols)
+		alphaP := c.f.Exp(alpha, uint64(c.p))
+		pow = 1
+		for k := 0; k < c.q; k++ {
+			bt.AXPY(c.f, pow, bBlocks[k])
+			pow = c.f.Mul(pow, alphaP)
+		}
+		shards[i] = Shard{A: at, B: bt}
+	}
+	return shards, nil
+}
+
+// Decode recovers the p·q blocks C_{j,k} = A_j·B_k from at least
+// threshold-many worker results. results[r] is worker workers[r]'s flattened
+// C̃ = Ã·B̃ (row-major, shape (rowsA/p)×(colsB/q)). The returned matrix is
+// the assembled rows×cols product C.
+func (c *Code) Decode(workers []int, results [][]field.Elem, blockRows, blockCols int) (*fieldmat.Matrix, error) {
+	th := c.Threshold()
+	if len(workers) < th {
+		return nil, fmt.Errorf("polycode: %d results below threshold %d", len(workers), th)
+	}
+	if len(workers) != len(results) {
+		return nil, fmt.Errorf("polycode: workers/results length mismatch")
+	}
+	seen := map[int]bool{}
+	for _, w := range workers {
+		if w < 0 || w >= c.n {
+			return nil, fmt.Errorf("polycode: worker %d out of range", w)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("polycode: duplicate worker %d", w)
+		}
+		seen[w] = true
+	}
+	dim := blockRows * blockCols
+	for _, r := range results {
+		if len(r) != dim {
+			return nil, fmt.Errorf("polycode: result length %d, want %d", len(r), dim)
+		}
+	}
+	workers = workers[:th]
+	results = results[:th]
+
+	// Vandermonde system: results[r] = Σ_t coeff_t · α_{w_r}^t.
+	v := fieldmat.NewMatrix(th, th)
+	rhs := fieldmat.NewMatrix(th, dim)
+	for r, w := range workers {
+		pow := field.Elem(1)
+		for t := 0; t < th; t++ {
+			v.Set(r, t, pow)
+			pow = c.f.Mul(pow, c.alphas[w])
+		}
+		copy(rhs.Row(r), results[r])
+	}
+	coeffs, err := fieldmat.SolveMatrix(c.f, v, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("polycode: decode system singular: %w", err)
+	}
+
+	// Coefficient t = j + p·k is block C_{j,k}; assemble C.
+	out := fieldmat.NewMatrix(c.p*blockRows, c.q*blockCols)
+	for t := 0; t < th; t++ {
+		j := t % c.p
+		k := t / c.p
+		flat := coeffs.Row(t)
+		for br := 0; br < blockRows; br++ {
+			dst := out.Row(j*blockRows + br)[k*blockCols : (k+1)*blockCols]
+			copy(dst, flat[br*blockCols:(br+1)*blockCols])
+		}
+	}
+	return out, nil
+}
+
+// ProductKey is the per-worker Freivalds key for verifying C̃ = Ã·B̃.
+type ProductKey struct {
+	f *field.Field
+	r []field.Elem // secret, length = B̃ cols
+	v []field.Elem // precomputed Ã·(B̃·r), length = Ã rows
+}
+
+// NewProductKey precomputes the reference product for one shard.
+func NewProductKey(f *field.Field, rng *rand.Rand, sh Shard) *ProductKey {
+	r := f.RandVec(rng, sh.B.Cols)
+	br := fieldmat.MatVec(f, sh.B, r)
+	v := fieldmat.MatVec(f, sh.A, br)
+	return &ProductKey{f: f, r: r, v: v}
+}
+
+// Check reports whether the flattened claimed product is consistent.
+func (k *ProductKey) Check(cFlat []field.Elem) bool {
+	rows, cols := len(k.v), len(k.r)
+	if len(cFlat) != rows*cols {
+		return false
+	}
+	for i := 0; i < rows; i++ {
+		if k.f.Dot(cFlat[i*cols:(i+1)*cols], k.r) != k.v[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package polycode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+var f = field.Default()
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(f, 5, 2, 3); err == nil {
+		t.Fatal("N below pq accepted")
+	}
+	if _, err := New(f, 6, 0, 3); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := New(f, 6, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	code, err := New(f, 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fieldmat.Rand(f, rng, 6, 5) // p=2 → blocks 3×5
+	b := fieldmat.Rand(f, rng, 5, 9) // q=3 → blocks 5×3
+	shards, err := code.Encode(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 8 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	want := fieldmat.MatMul(f, a, b)
+	// Any pq = 6 of the 8 workers decode; use a shuffled subset.
+	workers := []int{7, 1, 4, 0, 6, 2}
+	results := make([][]field.Elem, len(workers))
+	for r, w := range workers {
+		results[r] = fieldmat.MatMul(f, shards[w].A, shards[w].B).Data
+	}
+	got, err := code.Decode(workers, results, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("polynomial-code decode != A·B")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := 1+r.Intn(3), 1+r.Intn(3)
+		n := p*q + r.Intn(3)
+		code, err := New(f, n, p, q)
+		if err != nil {
+			return false
+		}
+		br, inner, bc := 1+r.Intn(3), 1+r.Intn(4), 1+r.Intn(3)
+		a := fieldmat.Rand(f, r, p*br, inner)
+		b := fieldmat.Rand(f, r, inner, q*bc)
+		shards, err := code.Encode(a, b)
+		if err != nil {
+			return false
+		}
+		perm := r.Perm(n)[:p*q]
+		results := make([][]field.Elem, len(perm))
+		for i, w := range perm {
+			results[i] = fieldmat.MatMul(f, shards[w].A, shards[w].B).Data
+		}
+		got, err := code.Decode(perm, results, br, bc)
+		if err != nil {
+			return false
+		}
+		return got.Equal(fieldmat.MatMul(f, a, b))
+	}, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	code, _ := New(f, 6, 2, 3)
+	if _, err := code.Encode(fieldmat.NewMatrix(4, 3), fieldmat.NewMatrix(4, 6)); err == nil {
+		t.Fatal("inner mismatch accepted")
+	}
+	if _, err := code.Encode(fieldmat.NewMatrix(5, 3), fieldmat.NewMatrix(3, 6)); err == nil {
+		t.Fatal("indivisible rows accepted")
+	}
+	if _, err := code.Encode(fieldmat.NewMatrix(4, 3), fieldmat.NewMatrix(3, 7)); err == nil {
+		t.Fatal("indivisible cols accepted")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	code, _ := New(f, 6, 2, 2)
+	good := make([][]field.Elem, 4)
+	for i := range good {
+		good[i] = make([]field.Elem, 4)
+	}
+	if _, err := code.Decode([]int{0, 1, 2}, good[:3], 2, 2); err == nil {
+		t.Fatal("below threshold accepted")
+	}
+	if _, err := code.Decode([]int{0, 1, 2, 2}, good, 2, 2); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := code.Decode([]int{0, 1, 2, 9}, good, 2, 2); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	bad := [][]field.Elem{good[0], good[1], good[2], make([]field.Elem, 3)}
+	if _, err := code.Decode([]int{0, 1, 2, 3}, bad, 2, 2); err == nil {
+		t.Fatal("ragged results accepted")
+	}
+}
+
+func TestProductKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	code, _ := New(f, 6, 2, 2)
+	a := fieldmat.Rand(f, rng, 4, 5)
+	b := fieldmat.Rand(f, rng, 5, 4)
+	shards, err := code.Encode(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		key := NewProductKey(f, rng, sh)
+		honest := fieldmat.MatMul(f, sh.A, sh.B).Data
+		if !key.Check(honest) {
+			t.Fatal("honest product rejected")
+		}
+		badVec := field.CopyVec(honest)
+		badVec[rng.Intn(len(badVec))] = f.Add(badVec[0], 1)
+		if field.EqualVec(badVec, honest) {
+			continue
+		}
+		if key.Check(badVec) {
+			t.Fatal("corrupted product accepted")
+		}
+		if key.Check(honest[:len(honest)-1]) {
+			t.Fatal("short claim accepted")
+		}
+	}
+}

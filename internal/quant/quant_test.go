@@ -1,0 +1,173 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+var f = field.Default()
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	q := New(f, 5)
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.25, -3.25, 100.03125}
+	for _, x := range cases {
+		got := q.Dequantize(q.Quantize(x))
+		if math.Abs(got-x) > 1.0/64.0+1e-12 { // half-ULP of 2^-5 rounding
+			t.Errorf("round trip %g -> %g", x, got)
+		}
+	}
+}
+
+func TestQuantizeRoundTripQuick(t *testing.T) {
+	q := New(f, 5)
+	if err := quick.Check(func(raw float64) bool {
+		x := math.Mod(raw, 1000) // keep well inside the field window
+		if math.IsNaN(x) {
+			return true
+		}
+		return math.Abs(q.Dequantize(q.Quantize(x))-x) <= 1.0/64.0+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizationErrorBound(t *testing.T) {
+	// |dequant(quant(x)) - x| <= 2^-(l+1) for all in-range x.
+	for _, l := range []uint{0, 3, 5, 8} {
+		q := New(f, l)
+		rng := rand.New(rand.NewSource(int64(l)))
+		bound := math.Exp2(-float64(l)-1) + 1e-12
+		for i := 0; i < 200; i++ {
+			x := rng.Float64()*200 - 100
+			if err := math.Abs(q.Dequantize(q.Quantize(x)) - x); err > bound {
+				t.Fatalf("l=%d: error %g exceeds %g", l, err, bound)
+			}
+		}
+	}
+}
+
+func TestLZeroIsIntegerRounding(t *testing.T) {
+	q := New(f, 0)
+	if q.Quantize(7.4) != 7 || q.Dequantize(7) != 7 {
+		t.Fatal("l=0 should round to integers with scale 1")
+	}
+	if q.f.ToInt64(q.Quantize(-2.6)) != -3 {
+		t.Fatal("l=0 negative rounding wrong")
+	}
+}
+
+func TestFieldProductScales(t *testing.T) {
+	// Integer data (l=0) times l=5 weights: field product dequantizes at
+	// total scale 2^5 — the exact pipeline of logreg round 1.
+	qx := New(f, 0)
+	qw := New(f, 5)
+	x, w := 37.0, -1.375 // -1.375 = -44/32 exactly representable at l=5
+	prod := f.Mul(qx.Quantize(x), qw.Quantize(w))
+	got := qw.DequantizeAt(prod, 5)
+	if math.Abs(got-x*w) > 1e-9 {
+		t.Fatalf("scaled product = %g, want %g", got, x*w)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	q := New(f, 5)
+	xs := []float64{1.5, -2.25, 0, 10}
+	back := q.DequantizeVec(q.QuantizeVec(xs))
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > 1.0/64 {
+			t.Fatalf("vec round trip idx %d: %g vs %g", i, back[i], xs[i])
+		}
+	}
+}
+
+func TestQuantizeMatrix(t *testing.T) {
+	q := New(f, 2)
+	m := q.QuantizeMatrix(2, 2, []float64{1, 2.25, -1, 0})
+	want := fieldmat.FromRows([][]field.Elem{
+		{4, 9},
+		{f.FromInt64(-4), 0},
+	})
+	if !m.Equal(want) {
+		t.Fatalf("QuantizeMatrix = %v, want %v", m, want)
+	}
+}
+
+func TestQuantizeMatrixLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(f, 1).QuantizeMatrix(2, 2, []float64{1, 2, 3})
+}
+
+func TestCheckMachineOverflowPaperParams(t *testing.T) {
+	// The paper's exact justification: d = 5000, q = 2^25-39 passes; a
+	// 32-bit field at the same d must fail.
+	if err := CheckMachineOverflow(f, 5000); err != nil {
+		t.Fatalf("paper parameters rejected: %v", err)
+	}
+	big := field.MustNew(4294967291)
+	if err := CheckMachineOverflow(big, 5000); err == nil {
+		t.Fatal("32-bit field at d=5000 should violate the 2^63-1 bound")
+	}
+	if err := CheckMachineOverflow(f, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestCheckWrapAround(t *testing.T) {
+	// GISETTE-style: d=5000, |x| <= 999, |w_quant| <= 2^5·|w|; with |w| <= 0.1
+	// the worst case 5000·999·3.2 ≈ 1.6e7 fits in (q-1)/2 ≈ 1.7e7.
+	if err := CheckWrapAround(f, 5000, 999, 3.2); err != nil {
+		t.Fatalf("in-range case rejected: %v", err)
+	}
+	if err := CheckWrapAround(f, 5000, 999, 100); err == nil {
+		t.Fatal("out-of-range case accepted")
+	}
+	if err := CheckWrapAround(f, -1, 1, 1); err == nil {
+		t.Fatal("negative d accepted")
+	}
+}
+
+func TestNewPanicsOnHugeL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(f, 31)
+}
+
+func TestEndToEndDotProductThroughField(t *testing.T) {
+	// Quantize a vector pair, compute the dot product in the field, and
+	// compare against the float dot product — the elementary correctness
+	// fact behind coded logistic regression.
+	rng := rand.New(rand.NewSource(120))
+	qx := New(f, 0)
+	qw := New(f, 5)
+	d := 100
+	xs := make([]float64, d)
+	ws := make([]float64, d)
+	for i := range xs {
+		xs[i] = float64(rng.Intn(100))       // integer features
+		ws[i] = (rng.Float64() - 0.5) * 0.25 // small weights
+	}
+	fx := qx.QuantizeVec(xs)
+	fw := qw.QuantizeVec(ws)
+	got := qw.DequantizeAt(f.Dot(fx, fw), 5)
+	var want float64
+	for i := range xs {
+		// Compare against the dot product of the *quantized* weights to
+		// isolate field correctness from rounding.
+		want += xs[i] * math.Round(ws[i]*32) / 32
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("field dot = %g, float dot = %g", got, want)
+	}
+}

@@ -1,0 +1,174 @@
+// Package rpccluster runs the worker side of the protocol as real network
+// services: each worker is a net/rpc server over TCP, and RPCExecutor makes
+// any master (AVCC or baseline) drive those remote workers instead of the
+// virtual-time simulator.
+//
+// This is the "it actually distributes" path: the algebra, verification and
+// decode logic are byte-identical to the simulated runs; only arrival times
+// become wall-clock measurements. cmd/avccdemo wires a full master + 12
+// worker processes-worth of servers over loopback.
+package rpccluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+)
+
+// ComputeArgs is the RPC request: apply the worker's shard for the round
+// key to the input vector.
+type ComputeArgs struct {
+	Key   string
+	Input []field.Elem
+	Iter  int
+}
+
+// ComputeReply is the RPC response.
+type ComputeReply struct {
+	Output []field.Elem
+}
+
+// WorkerService is the RPC-exposed wrapper around a cluster.Worker.
+type WorkerService struct {
+	f *field.Field
+	w *cluster.Worker
+}
+
+// Compute implements the RPC method. Byzantine behaviour (if the worker is
+// configured with one) is applied server-side, exactly as a compromised
+// machine would.
+func (s *WorkerService) Compute(args *ComputeArgs, reply *ComputeReply) error {
+	out, _, err := s.w.Compute(s.f, args.Key, args.Input, args.Iter)
+	if err != nil {
+		return err
+	}
+	reply.Output = out
+	return nil
+}
+
+// Server is one running worker endpoint.
+type Server struct {
+	Addr     string
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// Serve starts a worker RPC server on addr (use "127.0.0.1:0" to pick a
+// free port). Close the returned server to stop it.
+func Serve(addr string, f *field.Field, w *cluster.Worker) (*Server, error) {
+	srv := rpc.NewServer()
+	// Register under a worker-unique name so multiple workers can share a
+	// process in tests and the demo binary.
+	name := fmt.Sprintf("Worker%d", w.ID)
+	if err := srv.RegisterName(name, &WorkerService{f: f, w: w}); err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: l.Addr().String(), listener: l}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return s, nil
+}
+
+// Close stops accepting connections and waits for the accept loop to exit.
+func (s *Server) Close() error {
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// RPCExecutor implements cluster.Executor against remote workers.
+type RPCExecutor struct {
+	clients []*rpc.Client
+	ids     []int
+}
+
+// Dial connects to worker endpoints. addrs[i] must host the worker whose
+// ID is ids[i] (or 0..len-1 when ids is nil).
+func Dial(addrs []string, ids []int) (*RPCExecutor, error) {
+	if ids == nil {
+		ids = make([]int, len(addrs))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	if len(ids) != len(addrs) {
+		return nil, fmt.Errorf("rpccluster: %d ids for %d addrs", len(ids), len(addrs))
+	}
+	e := &RPCExecutor{ids: ids}
+	for _, a := range addrs {
+		c, err := rpc.Dial("tcp", a)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("rpccluster: dial %s: %w", a, err)
+		}
+		e.clients = append(e.clients, c)
+	}
+	return e, nil
+}
+
+// Close tears down all client connections.
+func (e *RPCExecutor) Close() {
+	for _, c := range e.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// RunRound implements cluster.Executor: issue all calls concurrently and
+// order results by real completion time.
+func (e *RPCExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []cluster.Result {
+	idx := make(map[int]int, len(e.ids))
+	for i, id := range e.ids {
+		idx[id] = i
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	results := make([]cluster.Result, 0, len(active))
+	var wg sync.WaitGroup
+	for _, id := range active {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res := cluster.Result{Worker: id}
+			ci, ok := idx[id]
+			if !ok {
+				res.Err = fmt.Errorf("rpccluster: no connection for worker %d", id)
+			} else {
+				t0 := time.Now()
+				var reply ComputeReply
+				err := e.clients[ci].Call(fmt.Sprintf("Worker%d.Compute", id),
+					&ComputeArgs{Key: key, Input: input, Iter: iter}, &reply)
+				res.ComputeSec = time.Since(t0).Seconds()
+				res.Output = reply.Output
+				res.Err = err
+			}
+			res.ArriveAt = time.Since(start).Seconds()
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].ArriveAt < results[j].ArriveAt })
+	return results
+}

@@ -1,0 +1,168 @@
+package rpccluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/avcc"
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/simnet"
+)
+
+var f = field.Default()
+
+// startCluster spins n worker RPC servers on loopback and returns a
+// connected executor plus the shard-holding workers (so the test can attach
+// shards after master-side encoding).
+func startCluster(t *testing.T, n int) ([]*cluster.Worker, *RPCExecutor) {
+	t.Helper()
+	workers := make([]*cluster.Worker, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		workers[i] = cluster.NewWorker(i)
+		srv, err := Serve("127.0.0.1:0", f, workers[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr
+	}
+	exec, err := Dial(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+	return workers, exec
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	workers, exec := startCluster(t, 4)
+	shards := make([]*fieldmat.Matrix, 4)
+	for i, w := range workers {
+		shards[i] = fieldmat.Rand(f, rng, 6, 8)
+		w.Shards["fwd"] = shards[i]
+	}
+	in := f.RandVec(rng, 8)
+	results := exec.RunRound("fwd", in, 0, []int{0, 1, 2, 3})
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	seen := map[int]bool{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want := fieldmat.MatVec(f, shards[r.Worker], in)
+		if !field.EqualVec(r.Output, want) {
+			t.Fatalf("worker %d returned wrong product over RPC", r.Worker)
+		}
+		seen[r.Worker] = true
+	}
+	if len(seen) != 4 {
+		t.Fatal("duplicate/missing workers")
+	}
+}
+
+func TestRPCWorkerErrorPropagates(t *testing.T) {
+	_, exec := startCluster(t, 1) // worker 0 has no shards
+	results := exec.RunRound("missing", []field.Elem{1}, 0, []int{0})
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatal("expected an RPC-propagated worker error")
+	}
+}
+
+func TestRPCByzantineAppliedServerSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	workers, exec := startCluster(t, 2)
+	for _, w := range workers {
+		w.Shards["fwd"] = fieldmat.Rand(f, rng, 3, 3)
+	}
+	workers[1].Behavior = attack.Constant{V: 7}
+	results := exec.RunRound("fwd", f.RandVec(rng, 3), 0, []int{0, 1})
+	for _, r := range results {
+		if r.Worker == 1 {
+			for _, v := range r.Output {
+				if v != 7 {
+					t.Fatal("server-side Byzantine behaviour missing")
+				}
+			}
+		}
+	}
+}
+
+func TestRPCDialUnknownAddress(t *testing.T) {
+	if _, err := Dial([]string{"127.0.0.1:1"}, nil); err == nil {
+		t.Fatal("dialing a dead port should fail")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1", "127.0.0.1:2"}, []int{0}); err == nil {
+		t.Fatal("id/addr mismatch accepted")
+	}
+}
+
+func TestRPCMissingWorkerConnection(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	workers, exec := startCluster(t, 1)
+	workers[0].Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+	results := exec.RunRound("fwd", f.RandVec(rng, 2), 0, []int{0, 5})
+	var missingErr bool
+	for _, r := range results {
+		if r.Worker == 5 && r.Err != nil {
+			missingErr = true
+		}
+	}
+	if !missingErr {
+		t.Fatal("missing connection should surface as an error result")
+	}
+}
+
+func TestAVCCMasterOverRealTCP(t *testing.T) {
+	// Full integration: AVCC master encodes, remote workers compute over
+	// TCP (one of them Byzantine), master verifies and decodes correctly.
+	rng := rand.New(rand.NewSource(203))
+	workers, exec := startCluster(t, 12)
+	workers[5].Behavior = attack.ReverseValue{C: 1}
+
+	x := fieldmat.Rand(f, rng, 36, 10)
+	data := map[string]*fieldmat.Matrix{"fwd": x}
+	sim := simnet.DefaultConfig()
+	master, err := avcc.NewMaster(f, avcc.Options{
+		Params:  avcc.Params{N: 12, K: 9, S: 1, M: 2, DegF: 1},
+		Sim:     sim,
+		Seed:    42,
+		Dynamic: true,
+	}, data, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the master's shard assignment onto the remote workers: the
+	// master encoded into its own in-process worker objects; copy shards.
+	for i, w := range master.Workers() {
+		workers[i].Shards["fwd"] = w.Shards["fwd"]
+	}
+	master.SetExecutor(exec)
+
+	w := f.RandVec(rng, 10)
+	want := fieldmat.MatVec(f, x, w)
+	for iter := 0; iter < 3; iter++ {
+		out, err := master.RunRound("fwd", w, iter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !field.EqualVec(out.Decoded, want) {
+			t.Fatalf("iter %d: decode over real TCP wrong", iter)
+		}
+		// The Byzantine may arrive after the threshold (real arrival order
+		// is nondeterministic), in which case it is simply unused; if it
+		// WAS processed it must have been rejected. Either way it must
+		// never contribute to the decode.
+		for _, id := range out.Used {
+			if id == 5 {
+				t.Fatalf("iter %d: Byzantine worker used in decode", iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if !DefaultConfig().Validate() {
+		t.Fatal("default config invalid")
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	bad := []Config{
+		{},
+		{WorkerOpsPerSec: -1, MasterOpsPerSec: 1, LinkElemsPerSec: 1, StragglerFactor: 1},
+		{WorkerOpsPerSec: 1, MasterOpsPerSec: 1, LinkElemsPerSec: 1, StragglerFactor: 0.5},
+		{WorkerOpsPerSec: 1, MasterOpsPerSec: 1, LinkElemsPerSec: 1, StragglerFactor: 1, LinkLatency: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestComputeTimeScaling(t *testing.T) {
+	c := DefaultConfig()
+	c.JitterFrac = 0
+	base := c.ComputeTime(1e8, false, nil)
+	if base != 1.0 {
+		t.Fatalf("1e8 ops at 1e8 ops/s = %g s, want 1", base)
+	}
+	slow := c.ComputeTime(1e8, true, nil)
+	if slow != 10.0 {
+		t.Fatalf("straggler time %g, want 10", slow)
+	}
+	if c.ComputeTime(2e8, false, nil) != 2*base {
+		t.Fatal("compute time not linear in ops")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	c := DefaultConfig()
+	c.JitterFrac = 0.05
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		tm := c.ComputeTime(1e8, false, rng)
+		if tm < 1.0 || tm >= 1.05 {
+			t.Fatalf("jittered time %g outside [1, 1.05)", tm)
+		}
+	}
+}
+
+func TestJitterDeterministicFromSeed(t *testing.T) {
+	c := DefaultConfig()
+	a := c.ComputeTime(1e6, false, rand.New(rand.NewSource(42)))
+	b := c.ComputeTime(1e6, false, rand.New(rand.NewSource(42)))
+	if a != b {
+		t.Fatal("same seed produced different times")
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	c := Config{LinkLatency: 0.001, LinkElemsPerSec: 1000, WorkerOpsPerSec: 1, MasterOpsPerSec: 1, StragglerFactor: 1}
+	if got := c.CommTime(0); got != 0.001 {
+		t.Fatalf("empty message time %g, want pure latency", got)
+	}
+	if got := c.CommTime(1000); got != 1.001 {
+		t.Fatalf("1000-elem message time %g, want 1.001", got)
+	}
+}
+
+func TestMasterTime(t *testing.T) {
+	c := DefaultConfig()
+	if c.MasterTime(1e8) != 1.0 {
+		t.Fatal("master time wrong")
+	}
+}
+
+func TestQueueOrdersByTime(t *testing.T) {
+	q := NewQueue()
+	times := []float64{0.5, 0.1, 0.9, 0.3, 0.7}
+	for i, at := range times {
+		q.Push(at, i, nil)
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	for _, want := range sorted {
+		a, ok := q.Pop()
+		if !ok || a.At != want {
+			t.Fatalf("pop = %v, want t=%g", a, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueTieBreakInsertionOrder(t *testing.T) {
+	q := NewQueue()
+	for w := 0; w < 10; w++ {
+		q.Push(1.0, w, nil)
+	}
+	for w := 0; w < 10; w++ {
+		a, _ := q.Pop()
+		if a.Worker != w {
+			t.Fatalf("tie broken out of insertion order: got worker %d at pos %d", a.Worker, w)
+		}
+	}
+}
+
+func TestQueuePeekAndLen(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+	q.Push(2.0, 1, "a")
+	q.Push(1.0, 2, "b")
+	if q.Len() != 2 {
+		t.Fatal("len wrong")
+	}
+	a, ok := q.Peek()
+	if !ok || a.Worker != 2 || a.Payload.(string) != "b" {
+		t.Fatalf("peek = %v", a)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek consumed an element")
+	}
+}
+
+func TestQueueInterleavedPushPop(t *testing.T) {
+	q := NewQueue()
+	q.Push(5, 0, nil)
+	q.Push(1, 1, nil)
+	if a, _ := q.Pop(); a.Worker != 1 {
+		t.Fatal("wrong first pop")
+	}
+	q.Push(3, 2, nil)
+	q.Push(4, 3, nil)
+	if a, _ := q.Pop(); a.Worker != 2 {
+		t.Fatal("wrong second pop")
+	}
+	if a, _ := q.Pop(); a.Worker != 3 {
+		t.Fatal("wrong third pop")
+	}
+	if a, _ := q.Pop(); a.Worker != 0 {
+		t.Fatal("wrong last pop")
+	}
+}
+
+func TestStragglerDominatesVerifyCost(t *testing.T) {
+	// The shape behind Fig. 4(b)/(c): a straggling worker's compute time
+	// must dwarf the master's O(m+d) verification time at realistic sizes.
+	c := DefaultConfig()
+	c.JitterFrac = 0
+	m, d, k := 6000.0, 5000.0, 9.0
+	workerOps := (m / k) * d // shard matvec
+	verifyOps := m/k + d     // Freivalds check
+	straggler := c.ComputeTime(workerOps, true, nil)
+	verify := c.MasterTime(verifyOps)
+	if straggler < 100*verify {
+		t.Fatalf("straggler %.4g s not ≫ verify %.4g s — calibration broken", straggler, verify)
+	}
+}

@@ -1,0 +1,112 @@
+// Package verify implements the information-theoretic verifiable-computing
+// side of AVCC: Freivalds' algorithm (1977) specialised to the matrix-vector
+// products of the paper's two-round logistic-regression protocol, plus the
+// k-trial amplification that drives the false-acceptance probability from
+// 1/q down to (1/q)^k.
+//
+// For a worker holding the coded shard X̃ ∈ F_q^{a×b}, the master draws a
+// secret uniform r ∈ F_q^a once and precomputes s = r·X̃ ∈ F_q^b (paper
+// eq. 6–7). When the worker later claims ŷ = X̃·x for a public input x, the
+// master accepts iff
+//
+//	s·x == r·ŷ,
+//
+// which costs O(a+b) multiplications instead of the O(a·b) the worker spent.
+// A correct result always passes; a wrong result passes with probability at
+// most 1/q because r is uniform and hidden (paper eq. 10–11).
+//
+// Key generation is a one-time cost amortised over all training iterations —
+// the same keys verify every round-1 check s⁽¹⁾·w = r⁽¹⁾·z̃ and every
+// round-2 check s⁽²⁾·e = r⁽²⁾·g̃.
+package verify
+
+import (
+	"math/rand"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// Key verifies claims of the form result = X̃·input for one fixed shard X̃.
+type Key struct {
+	f *field.Field
+	// r is the secret verification vector, length = shard rows.
+	r []field.Elem
+	// s = r·X̃, length = shard cols.
+	s []field.Elem
+}
+
+// NewKey draws the secret vector and precomputes s = r·X̃. This is the
+// "Verification Key Generation" step of the protocol; it performs the same
+// O(a·b) work as one worker computation, once, up front.
+func NewKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix) *Key {
+	r := f.RandVec(rng, shard.Rows)
+	s := fieldmat.VecMat(f, r, shard)
+	return &Key{f: f, r: r, s: s}
+}
+
+// Check reports whether result is consistent with X̃·input. Cost: one
+// length-b and one length-a inner product.
+func (k *Key) Check(input, result []field.Elem) bool {
+	if len(input) != len(k.s) || len(result) != len(k.r) {
+		return false // dimension mismatch can never be a valid claim
+	}
+	return k.f.Dot(k.s, input) == k.f.Dot(k.r, result)
+}
+
+// InputLen returns the expected input vector length (shard columns).
+func (k *Key) InputLen() int { return len(k.s) }
+
+// ResultLen returns the expected result vector length (shard rows).
+func (k *Key) ResultLen() int { return len(k.r) }
+
+// AmplifiedKey runs t independent Freivalds trials, driving the soundness
+// error to (1/q)^t. The paper runs a single trial (q = 2^25−39 makes 1/q ≈
+// 3·10⁻⁸ per check already); the ablation benchmarks sweep t.
+type AmplifiedKey struct {
+	keys []*Key
+}
+
+// NewAmplifiedKey builds t independent keys for the same shard.
+func NewAmplifiedKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix, trials int) *AmplifiedKey {
+	if trials < 1 {
+		panic("verify: amplification needs at least one trial")
+	}
+	ks := make([]*Key, trials)
+	for i := range ks {
+		ks[i] = NewKey(f, rng, shard)
+	}
+	return &AmplifiedKey{keys: ks}
+}
+
+// Check accepts only if every trial accepts.
+func (a *AmplifiedKey) Check(input, result []field.Elem) bool {
+	for _, k := range a.keys {
+		if !k.Check(input, result) {
+			return false
+		}
+	}
+	return true
+}
+
+// Trials returns the amplification factor.
+func (a *AmplifiedKey) Trials() int { return len(a.keys) }
+
+// RoundKeys bundles the two per-worker keys of the logistic-regression
+// protocol: V_i = (key over X̃_i for round 1, key over the transposed-shard
+// X̃'_i for round 2) — the paper's s⁽¹⁾, s⁽²⁾ pair.
+type RoundKeys struct {
+	// Round1 verifies z̃ = X̃_i·w claims.
+	Round1 *Key
+	// Round2 verifies g̃ = X̃'_i·e claims.
+	Round2 *Key
+}
+
+// NewRoundKeys generates both keys for a worker's (shard, transposedShard)
+// pair.
+func NewRoundKeys(f *field.Field, rng *rand.Rand, shard, shardT *fieldmat.Matrix) *RoundKeys {
+	return &RoundKeys{
+		Round1: NewKey(f, rng, shard),
+		Round2: NewKey(f, rng, shardT),
+	}
+}

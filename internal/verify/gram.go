@@ -1,0 +1,54 @@
+package verify
+
+import (
+	"math/rand"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// Gram verification — the Generalized-AVCC (paper Section IV-B) check for
+// the degree-2 computation G = X̃·X̃ᵀ.
+//
+// Freivalds' test for a claimed matrix product: draw a secret uniform
+// r ∈ F_q^b and accept iff G·r == X̃·(X̃ᵀ·r). Since the master generated X̃
+// itself, the right-hand side is precomputed ONCE at key-generation time
+// (v = X̃·(X̃ᵀ·r)), so each per-iteration check costs only the O(b²)
+// product G·r — versus the O(b²·d) the worker spent computing G. A wrong G
+// passes with probability ≤ 1/q, exactly as in the matvec case.
+
+// GramKey verifies claims of the form G = X̃·X̃ᵀ for one fixed shard.
+type GramKey struct {
+	f *field.Field
+	// r is the secret vector, length = shard rows b.
+	r []field.Elem
+	// v = X̃·(X̃ᵀ·r), the precomputed honest value of G·r.
+	v []field.Elem
+}
+
+// NewGramKey draws the secret and precomputes the reference product.
+func NewGramKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix) *GramKey {
+	r := f.RandVec(rng, shard.Rows)
+	xtR := fieldmat.MatVec(f, shard.Transpose(), r)
+	v := fieldmat.MatVec(f, shard, xtR)
+	return &GramKey{f: f, r: r, v: v}
+}
+
+// Check reports whether the flattened b×b matrix gFlat is consistent with
+// X̃·X̃ᵀ.
+func (k *GramKey) Check(gFlat []field.Elem) bool {
+	b := len(k.r)
+	if len(gFlat) != b*b {
+		return false
+	}
+	// (G·r)_i = Σ_j G[i][j]·r[j], row-major flattening.
+	for i := 0; i < b; i++ {
+		if k.f.Dot(gFlat[i*b:(i+1)*b], k.r) != k.v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim returns the shard row count b (the claimed matrix is b×b).
+func (k *GramKey) Dim() int { return len(k.r) }

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+func gram(shard *fieldmat.Matrix) []field.Elem {
+	return fieldmat.MatMul(f, shard, shard.Transpose()).Data
+}
+
+func TestGramHonestPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	for trial := 0; trial < 20; trial++ {
+		b, d := 1+rng.Intn(10), 1+rng.Intn(15)
+		shard := fieldmat.Rand(f, rng, b, d)
+		key := NewGramKey(f, rng, shard)
+		if key.Dim() != b {
+			t.Fatalf("Dim = %d, want %d", key.Dim(), b)
+		}
+		if !key.Check(gram(shard)) {
+			t.Fatal("honest Gram rejected")
+		}
+	}
+}
+
+func TestGramCorruptionRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	shard := fieldmat.Rand(f, rng, 8, 12)
+	key := NewGramKey(f, rng, shard)
+	honest := gram(shard)
+	for trial := 0; trial < 100; trial++ {
+		bad := field.CopyVec(honest)
+		bad[rng.Intn(len(bad))] = f.Add(bad[rng.Intn(len(bad))], f.RandNonZero(rng))
+		if field.EqualVec(bad, honest) {
+			continue
+		}
+		if key.Check(bad) {
+			t.Fatal("corrupted Gram accepted (probability 1/q)")
+		}
+	}
+}
+
+func TestGramWrongShapeRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	shard := fieldmat.Rand(f, rng, 5, 7)
+	key := NewGramKey(f, rng, shard)
+	if key.Check(make([]field.Elem, 24)) {
+		t.Fatal("wrong-size claim accepted")
+	}
+	if key.Check(nil) {
+		t.Fatal("nil claim accepted")
+	}
+}
+
+func TestGramReverseAndConstantAttacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	shard := fieldmat.Rand(f, rng, 6, 9)
+	key := NewGramKey(f, rng, shard)
+	honest := gram(shard)
+	neg := make([]field.Elem, len(honest))
+	nonzero := false
+	for i, v := range honest {
+		neg[i] = f.Neg(v)
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if nonzero && key.Check(neg) {
+		t.Fatal("reverse attack on Gram accepted")
+	}
+	constant := make([]field.Elem, len(honest))
+	for i := range constant {
+		constant[i] = 3
+	}
+	if key.Check(constant) && !field.EqualVec(constant, honest) {
+		t.Fatal("constant attack on Gram accepted")
+	}
+}
+
+func BenchmarkGramVerifyVsCompute(b *testing.B) {
+	// Quantifies the O(b²) vs O(b²·d) gap that makes Generalized-AVCC
+	// verification affordable.
+	rng := rand.New(rand.NewSource(304))
+	shard := fieldmat.Rand(f, rng, 80, 300)
+	key := NewGramKey(f, rng, shard)
+	g := gram(shard)
+	b.Run("verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !key.Check(g) {
+				b.Fatal("rejected")
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = fieldmat.MatMul(f, shard, shard.Transpose())
+		}
+	})
+}
