@@ -16,7 +16,6 @@ import (
 	"testing"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/field"
@@ -24,6 +23,7 @@ import (
 	"repro/internal/gavcc"
 	"repro/internal/lcc"
 	"repro/internal/logreg"
+	"repro/internal/scheme"
 	"repro/internal/verify"
 )
 
@@ -175,7 +175,7 @@ func BenchmarkAblationRecodeOnset(b *testing.B) {
 		b.Run(map[int]string{1: "iter1", 5: "iter5", 10: "iter10"}[onset], func(b *testing.B) {
 			var saved float64
 			for i := 0; i < b.N; i++ {
-				run := func(dynamic bool) float64 {
+				run := func(name string) float64 {
 					behaviors := make([]attack.Behavior, 12)
 					for j := range behaviors {
 						behaviors[j] = attack.Honest{}
@@ -186,13 +186,13 @@ func BenchmarkAblationRecodeOnset(b *testing.B) {
 						After:  attack.NewFixedStragglers(0, 1, 2),
 						Switch: onset,
 					}
-					m, err := avcc.NewMaster(f, avcc.Options{
-						Params:              avcc.Params{N: 12, K: 9, S: 2, M: 1, DegF: 1},
-						Sim:                 sc.Sim,
-						Seed:                sc.Seed,
-						Dynamic:             dynamic,
-						PregeneratedCodings: true,
-					}, map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}, behaviors, stragglers)
+					m, err := scheme.New(name, f, scheme.NewConfig(
+						scheme.WithCoding(12, 9),
+						scheme.WithBudgets(2, 1, 0),
+						scheme.WithSim(sc.Sim),
+						scheme.WithSeed(sc.Seed),
+						scheme.WithPregeneratedCodings(true),
+					), map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}, behaviors, stragglers)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -202,7 +202,7 @@ func BenchmarkAblationRecodeOnset(b *testing.B) {
 					}
 					return series.TotalTime()
 				}
-				saved = run(false) - run(true)
+				saved = run("static-vcc") - run("avcc")
 			}
 			b.ReportMetric(saved*1e3, "saved-vms")
 		})
@@ -333,16 +333,19 @@ func BenchmarkGramGeneralizedAVCC(b *testing.B) {
 	f := field.Default()
 	rng := rand.New(rand.NewSource(5))
 	x := fieldmat.Rand(f, rng, 64, 48)
-	m, err := gavcc.NewMaster(f, gavcc.Options{
-		N: 10, K: 4, S: 1, M: 2, Sim: experiments.CI().Sim, Seed: 5,
-	}, x, nil, nil)
+	m, err := scheme.New("gavcc", f, scheme.NewConfig(
+		scheme.WithCoding(10, 4),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSim(experiments.CI().Sim),
+		scheme.WithSeed(5),
+	), map[string]*fieldmat.Matrix{gavcc.GramKey: x}, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Run(i); err != nil {
+		if _, err := m.RunRound(gavcc.GramKey, nil, i); err != nil {
 			b.Fatal(err)
 		}
 	}

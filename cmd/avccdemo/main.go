@@ -15,12 +15,11 @@ import (
 	"os"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/rpccluster"
-	"repro/internal/simnet"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -71,12 +70,11 @@ func run(rows, cols, rounds, byzantine int, attackName string, seed int64) error
 
 	// Master side: encode, generate keys, connect over TCP.
 	x := fieldmat.Rand(f, rng, rows, cols)
-	master, err := avcc.NewMaster(f, avcc.Options{
-		Params:  avcc.Params{N: n, K: k, S: 1, M: 2, DegF: 1},
-		Sim:     simnet.DefaultConfig(),
-		Seed:    seed,
-		Dynamic: true,
-	}, map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(n, k),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(seed),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -107,8 +105,10 @@ func run(rows, cols, rounds, byzantine int, attackName string, seed int64) error
 		}
 		master.FinishIteration(iter)
 	}
-	nCur, kCur := master.Coding()
-	fmt.Printf("final coding (%d,%d), active workers %v\n", nCur, kCur, master.ActiveWorkers())
+	if ad, ok := master.(scheme.Adaptive); ok {
+		nCur, kCur := ad.Coding()
+		fmt.Printf("final coding (%d,%d), active workers %v\n", nCur, kCur, ad.ActiveWorkers())
+	}
 	fmt.Println("demo complete: all rounds decoded the true product despite the Byzantine worker")
 	return nil
 }

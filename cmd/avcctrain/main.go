@@ -18,15 +18,13 @@ import (
 	"os"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
-	"repro/internal/baseline"
-	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/linreg"
 	"repro/internal/logreg"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -46,7 +44,7 @@ func main() {
 	}
 }
 
-func run(scheme, task, attackName string, s, m, iters int, scale string, seed int64) error {
+func run(schemeName, task, attackName string, s, m, iters int, scale string, seed int64) error {
 	var sc experiments.Scale
 	switch scale {
 	case "ci":
@@ -96,38 +94,27 @@ func run(scheme, task, attackName string, s, m, iters int, scale string, seed in
 		return bs
 	}
 
-	var master cluster.Master
-	switch scheme {
-	case "avcc", "static-vcc":
-		mm, err := avcc.NewMaster(f, avcc.Options{
-			Params:              avcc.Params{N: 12, K: 9, S: s, M: m, DegF: 1},
-			Sim:                 sc.Sim,
-			Seed:                seed,
-			Dynamic:             scheme == "avcc",
-			PregeneratedCodings: true,
-		}, data, mkBehaviors(12), stragglers)
-		if err != nil {
-			return err
-		}
-		master = mm
-	case "lcc":
-		mm, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
-			N: 12, K: 9, S: 1, M: 1, DegF: 1, Sim: sc.Sim, Seed: seed,
-		}, data, mkBehaviors(12), stragglers)
-		if err != nil {
-			return err
-		}
-		master = mm
-	case "uncoded":
-		mm, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
-			K: 9, Sim: sc.Sim, Seed: seed,
-		}, data, mkBehaviors(9), stragglers)
-		if err != nil {
-			return err
-		}
-		master = mm
-	default:
-		return fmt.Errorf("unknown scheme %q", scheme)
+	// The LCC baseline is always designed at the paper's fixed (S=1, M=1)
+	// point regardless of the simulated environment (eq. 1 pins N = 12);
+	// the verified schemes budget for the actual environment.
+	budgetS, budgetM := s, m
+	if schemeName == "lcc" {
+		budgetS, budgetM = 1, 1
+	}
+	cfg := scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(budgetS, budgetM, 0),
+		scheme.WithSim(sc.Sim),
+		scheme.WithSeed(seed),
+		scheme.WithPregeneratedCodings(true),
+	)
+	workerN, err := scheme.WorkerCount(schemeName, cfg)
+	if err != nil {
+		return err
+	}
+	master, err := scheme.New(schemeName, f, cfg, data, mkBehaviors(workerN), stragglers)
+	if err != nil {
+		return err
 	}
 
 	switch task {

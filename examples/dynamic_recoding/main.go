@@ -15,9 +15,9 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
+	"repro/internal/scheme"
 	"repro/internal/simnet"
 )
 
@@ -28,7 +28,7 @@ func main() {
 	w := f.RandVec(rng, 300)
 	want := fieldmat.MatVec(f, x, w)
 
-	mkMaster := func(dynamic bool) *avcc.Master {
+	mkMaster := func(name string) scheme.Master {
 		behaviors := make([]attack.Behavior, 12)
 		for i := range behaviors {
 			behaviors[i] = attack.Honest{}
@@ -41,21 +41,22 @@ func main() {
 		}
 		sim := simnet.DefaultConfig()
 		sim.LinkLatency = 1e-4
-		m, err := avcc.NewMaster(f, avcc.Options{
-			Params:              avcc.Params{N: 12, K: 9, S: 2, M: 1, DegF: 1},
-			Sim:                 sim,
-			Seed:                9,
-			Dynamic:             dynamic,
-			PregeneratedCodings: true,
-		}, map[string]*fieldmat.Matrix{"fwd": x}, behaviors, stragglers)
+		m, err := scheme.New(name, f, scheme.NewConfig(
+			scheme.WithCoding(12, 9),
+			scheme.WithBudgets(2, 1, 0),
+			scheme.WithSim(sim),
+			scheme.WithSeed(9),
+			scheme.WithPregeneratedCodings(true),
+		), map[string]*fieldmat.Matrix{"fwd": x}, behaviors, stragglers)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return m
 	}
 
-	for _, dynamic := range []bool{true, false} {
-		m := mkMaster(dynamic)
+	for _, name := range []string{"avcc", "static-vcc"} {
+		m := mkMaster(name)
+		ad := m.(scheme.Adaptive)
 		var clock float64
 		fmt.Printf("\n=== %s ===\n", m.Name())
 		for iter := 0; iter < 10; iter++ {
@@ -68,7 +69,7 @@ func main() {
 			}
 			cost, recoded := m.FinishIteration(iter)
 			clock += out.Breakdown.Wall + cost
-			n, k := m.Coding()
+			n, k := ad.Coding()
 			marker := ""
 			if recoded {
 				marker = fmt.Sprintf("  <-- re-encoded to (%d,%d), one-time cost %.4fs", n, k, cost)

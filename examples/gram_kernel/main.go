@@ -19,7 +19,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/gavcc"
-	"repro/internal/simnet"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -30,33 +30,39 @@ func main() {
 	x := fieldmat.Rand(f, rng, 64, 48)
 
 	// N = 10 workers: threshold 7, budget S = 1 straggler + M = 2 Byzantine.
-	opt := gavcc.Options{N: 10, K: 4, S: 1, M: 2, T: 0, Sim: simnet.DefaultConfig(), Seed: 11}
-	behaviors := make([]attack.Behavior, opt.N)
+	behaviors := make([]attack.Behavior, 10)
 	for i := range behaviors {
 		behaviors[i] = attack.Honest{}
 	}
 	behaviors[2] = attack.ReverseValue{C: 1}
 	behaviors[7] = attack.Constant{V: 1234}
-	master, err := gavcc.NewMaster(f, opt, x, behaviors, attack.NewFixedStragglers(0))
+	master, err := scheme.New("gavcc", f, scheme.NewConfig(
+		scheme.WithCoding(10, 4),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(11),
+	), map[string]*fieldmat.Matrix{gavcc.GramKey: x}, behaviors, attack.NewFixedStragglers(0))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	out, err := master.Run(0)
+	out, err := master.RunRound(gavcc.GramKey, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Verify against the direct computation.
+	// Verify against the direct computation: Decoded holds the K Gram
+	// blocks flattened, b×b each (scheme.Blocked exposes b).
+	b := master.(scheme.Blocked).BlockRows()
 	blocks := fieldmat.SplitRows(x, 4)
 	exact := true
-	for j, b := range blocks {
-		if !out.Blocks[j].Equal(fieldmat.MatMul(f, b, b.Transpose())) {
+	for j, blk := range blocks {
+		got := out.Decoded[j*b*b : (j+1)*b*b]
+		if !field.EqualVec(got, fieldmat.MatMul(f, blk, blk.Transpose()).Data) {
 			exact = false
 		}
 	}
 	fmt.Printf("decoded %d Gram blocks (%dx%d each), exact: %v\n",
-		len(out.Blocks), master.BlockRows(), master.BlockRows(), exact)
+		len(blocks), b, b, exact)
 	fmt.Printf("workers used:     %v\n", out.Used)
 	fmt.Printf("byzantine caught: %v\n", out.Byzantine)
 	fmt.Printf("round breakdown:  %v\n", out.Breakdown)

@@ -18,14 +18,12 @@ import (
 	"log"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
-	"repro/internal/baseline"
-	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/logreg"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -55,32 +53,34 @@ func main() {
 	stragglers := attack.NewFixedStragglers(0)
 	sim := experiments.CI().Sim
 
-	avccMaster, err := avcc.NewMaster(f, avcc.Options{
-		Params:              avcc.Params{N: 12, K: 9, S: 1, M: 2, DegF: 1},
-		Sim:                 sim,
-		Seed:                7,
-		Dynamic:             true,
-		PregeneratedCodings: true,
-	}, mkData(), mkBehaviors(12), stragglers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	lccMaster, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
-		N: 12, K: 9, S: 1, M: 1, DegF: 1, Sim: sim, Seed: 7,
-	}, mkData(), mkBehaviors(12), stragglers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	uncodedMaster, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
-		K: 9, Sim: sim, Seed: 7,
-	}, mkData(), mkBehaviors(9), stragglers)
-	if err != nil {
-		log.Fatal(err)
+	// One registry call per scheme; only the budgets differ (AVCC budgets
+	// for the actual M=2 environment, LCC is stuck at its M=1 design point).
+	mkMaster := func(name string, s, m int) scheme.Master {
+		cfg := scheme.NewConfig(
+			scheme.WithCoding(12, 9),
+			scheme.WithBudgets(s, m, 0),
+			scheme.WithSim(sim),
+			scheme.WithSeed(7),
+			scheme.WithPregeneratedCodings(true),
+		)
+		workerN, err := scheme.WorkerCount(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		master, err := scheme.New(name, f, cfg, mkData(), mkBehaviors(workerN), stragglers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return master
 	}
 
 	train := logreg.DefaultTrainConfig()
 	train.Iterations = 15
-	for _, master := range []cluster.Master{avccMaster, lccMaster, uncodedMaster} {
+	for _, master := range []scheme.Master{
+		mkMaster("avcc", 1, 2),
+		mkMaster("lcc", 1, 1),
+		mkMaster("uncoded", 0, 0),
+	} {
 		series, model, err := logreg.TrainDistributed(f, master, ds, train)
 		if err != nil {
 			log.Fatal(err)

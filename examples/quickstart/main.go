@@ -15,10 +15,9 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
-	"repro/internal/simnet"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -38,13 +37,13 @@ func main() {
 
 	// AVCC master: (N,K) = (12,9), budgets S=1 straggler and M=2 Byzantine
 	// (eq. 2: 12 >= 9 + 1 + 2). Encoding, Freivalds key generation and the
-	// simulated cluster wiring all happen here.
-	master, err := avcc.NewMaster(f, avcc.Options{
-		Params:  avcc.Params{N: 12, K: 9, S: 1, M: 2, DegF: 1},
-		Sim:     simnet.DefaultConfig(),
-		Seed:    42,
-		Dynamic: true,
-	}, map[string]*fieldmat.Matrix{"fwd": x}, behaviors, stragglers)
+	// simulated cluster wiring all happen here, behind the unified scheme
+	// registry — swap "avcc" for "lcc" or "uncoded" to compare backends.
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(42),
+	), map[string]*fieldmat.Matrix{"fwd": x}, behaviors, stragglers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,8 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
-	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -14,6 +12,7 @@ import (
 	"repro/internal/fieldmat"
 	"repro/internal/linreg"
 	"repro/internal/logreg"
+	"repro/internal/scheme"
 )
 
 // Cross-system integration invariants that tie the whole stack together.
@@ -37,27 +36,21 @@ func honestMasters(t *testing.T, ds *dataset.Data) map[string]cluster.Master {
 	mk := func() map[string]*fieldmat.Matrix {
 		return map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}
 	}
-	sim := experiments.CI().Sim
-	avccM, err := avcc.NewMaster(f, avcc.Options{
-		Params: avcc.Params{N: 12, K: 9, S: 1, M: 1, DegF: 1},
-		Sim:    sim, Seed: 21, Dynamic: true,
-	}, mk(), nil, nil)
-	if err != nil {
-		t.Fatal(err)
+	cfg := scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 1, 0),
+		scheme.WithSim(experiments.CI().Sim),
+		scheme.WithSeed(21),
+	)
+	masters := make(map[string]cluster.Master, 3)
+	for _, name := range []string{"avcc", "lcc", "uncoded"} {
+		m, err := scheme.New(name, f, cfg, mk(), nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		masters[name] = m
 	}
-	lccM, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
-		N: 12, K: 9, S: 1, M: 1, DegF: 1, Sim: sim, Seed: 21,
-	}, mk(), nil, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	uncodedM, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
-		K: 9, Sim: sim, Seed: 21,
-	}, mk(), nil, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return map[string]cluster.Master{"avcc": avccM, "lcc": lccM, "uncoded": uncodedM}
+	return masters
 }
 
 // TestHonestSchemesAgreeBitExactly: in a fault-free environment all three
@@ -142,22 +135,24 @@ func TestAttackedLogregOrdering(t *testing.T) {
 	cfg := logreg.DefaultTrainConfig()
 	cfg.Iterations = 8
 
-	avccM, err := avcc.NewMaster(f, avcc.Options{
-		Params: avcc.Params{N: 12, K: 9, S: 1, M: 2, DegF: 1},
-		Sim:    sim, Seed: 23, Dynamic: true, PregeneratedCodings: true,
-	}, mk(), behaviors(12), nil)
+	mkCfg := func(s, m int) scheme.Config {
+		return scheme.NewConfig(
+			scheme.WithCoding(12, 9),
+			scheme.WithBudgets(s, m, 0),
+			scheme.WithSim(sim),
+			scheme.WithSeed(23),
+			scheme.WithPregeneratedCodings(true),
+		)
+	}
+	avccM, err := scheme.New("avcc", f, mkCfg(1, 2), mk(), behaviors(12), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lccM, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
-		N: 12, K: 9, S: 1, M: 1, DegF: 1, Sim: sim, Seed: 23,
-	}, mk(), behaviors(12), nil)
+	lccM, err := scheme.New("lcc", f, mkCfg(1, 1), mk(), behaviors(12), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	uncodedM, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
-		K: 9, Sim: sim, Seed: 23,
-	}, mk(), behaviors(9), nil)
+	uncodedM, err := scheme.New("uncoded", f, mkCfg(1, 1), mk(), behaviors(9), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -210,7 +210,7 @@ func (m *Master) installCoding(n, k int) (encodeOps, distElems float64, err erro
 	}
 	trials := m.opt.trials()
 	for key, x := range m.data {
-		padded := padRows(x, k)
+		padded := fieldmat.PadRows(x, k)
 		shards, err := code.EncodeMatrix(padded, m.rng)
 		if err != nil {
 			return 0, 0, fmt.Errorf("avcc: encode %q: %w", key, err)
@@ -233,18 +233,6 @@ func (m *Master) installCoding(n, k int) (encodeOps, distElems float64, err erro
 	m.keys = newKeys
 	m.codePos = newPos
 	return encodeOps, distElems, nil
-}
-
-// padRows returns x extended with zero rows to the next multiple of k
-// (identity when already divisible). The paper pads GISETTE the same way.
-func padRows(x *fieldmat.Matrix, k int) *fieldmat.Matrix {
-	if x.Rows%k == 0 {
-		return x
-	}
-	rows := ((x.Rows + k - 1) / k) * k
-	out := fieldmat.NewMatrix(rows, x.Cols)
-	copy(out.Data, x.Data)
-	return out
 }
 
 func (m *Master) resetIterObservations() {

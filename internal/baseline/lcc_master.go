@@ -84,7 +84,7 @@ func NewLCCMaster(f *field.Field, opt LCCOptions, data map[string]*fieldmat.Matr
 	}
 	for key, x := range data {
 		m.origRows[key] = x.Rows
-		padded := padRows(x, opt.K)
+		padded := fieldmat.PadRows(x, opt.K)
 		shards, err := code.EncodeMatrix(padded, m.rng)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: encode %q: %w", key, err)
@@ -99,6 +99,10 @@ func NewLCCMaster(f *field.Field, opt LCCOptions, data map[string]*fieldmat.Matr
 
 // SetExecutor swaps the executor (tests and real-transport runs).
 func (m *LCCMaster) SetExecutor(e cluster.Executor) { m.exec = e }
+
+// Workers exposes the master's worker objects so real-transport deployments
+// can ship the encoded shards to the matching remote endpoints.
+func (m *LCCMaster) Workers() []*cluster.Worker { return m.workers }
 
 // Name implements cluster.Master.
 func (m *LCCMaster) Name() string { return "lcc" }
@@ -173,14 +177,3 @@ func (m *LCCMaster) RunRound(key string, input []field.Elem, iter int) (*cluster
 
 // FinishIteration implements cluster.Master; LCC never adapts.
 func (m *LCCMaster) FinishIteration(int) (float64, bool) { return 0, false }
-
-// padRows extends x with zero rows to the next multiple of k.
-func padRows(x *fieldmat.Matrix, k int) *fieldmat.Matrix {
-	if x.Rows%k == 0 {
-		return x
-	}
-	rows := ((x.Rows + k - 1) / k) * k
-	out := fieldmat.NewMatrix(rows, x.Cols)
-	copy(out.Data, x.Data)
-	return out
-}

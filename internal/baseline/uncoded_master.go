@@ -64,7 +64,7 @@ func NewUncodedMaster(f *field.Field, opt UncodedOptions, data map[string]*field
 	}
 	for key, x := range data {
 		m.origRows[key] = x.Rows
-		padded := padRows(x, opt.K)
+		padded := fieldmat.PadRows(x, opt.K)
 		blocks := fieldmat.SplitRows(padded, opt.K)
 		m.blockRows[key] = blocks[0].Rows
 		for i, b := range blocks {
@@ -77,6 +77,10 @@ func NewUncodedMaster(f *field.Field, opt UncodedOptions, data map[string]*field
 
 // SetExecutor swaps the executor (tests and real-transport runs).
 func (m *UncodedMaster) SetExecutor(e cluster.Executor) { m.exec = e }
+
+// Workers exposes the master's worker objects so real-transport deployments
+// can ship the uncoded blocks to the matching remote endpoints.
+func (m *UncodedMaster) Workers() []*cluster.Worker { return m.workers }
 
 // Name implements cluster.Master.
 func (m *UncodedMaster) Name() string { return "uncoded" }

@@ -10,14 +10,13 @@ import (
 	"fmt"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
-	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/logreg"
 	"repro/internal/metrics"
+	"repro/internal/scheme"
 	"repro/internal/simnet"
 )
 
@@ -136,29 +135,33 @@ func systems(sc Scale, env *environment) (map[string]cluster.Master, *dataset.Da
 		return map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}
 	}
 
-	avccM, err := avcc.NewMaster(f, avcc.Options{
-		Params:  avcc.Params{N: topologyN, K: topologyK, S: env.s, M: env.m, DegF: 1},
-		Sim:     sc.Sim,
-		Seed:    sc.Seed,
-		Dynamic: true,
+	avccM, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(topologyN, topologyK),
+		scheme.WithBudgets(env.s, env.m, 0),
+		scheme.WithSim(sc.Sim),
+		scheme.WithSeed(sc.Seed),
 		// The paper's stated deployment strategy: encoded datasets and
 		// verification keys for alternative (N,K) configurations are
 		// generated offline, so a re-code pays only redistribution.
-		PregeneratedCodings: true,
-	}, mk(), env.behaviors(topologyN), env.stragglers)
+		scheme.WithPregeneratedCodings(true),
+	), mk(), env.behaviors(topologyN), env.stragglers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: avcc: %w", err)
 	}
-	lccM, err := baseline.NewLCCMaster(f, baseline.LCCOptions{
-		N: topologyN, K: topologyK, S: 1, M: 1, DegF: 1, // the paper's fixed LCC design point
-		Sim: sc.Sim, Seed: sc.Seed,
-	}, mk(), env.behaviors(topologyN), env.stragglers)
+	lccM, err := scheme.New("lcc", f, scheme.NewConfig(
+		scheme.WithCoding(topologyN, topologyK),
+		scheme.WithBudgets(1, 1, 0), // the paper's fixed LCC design point
+		scheme.WithSim(sc.Sim),
+		scheme.WithSeed(sc.Seed),
+	), mk(), env.behaviors(topologyN), env.stragglers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: lcc: %w", err)
 	}
-	uncodedM, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{
-		K: topologyK, Sim: sc.Sim, Seed: sc.Seed,
-	}, mk(), env.behaviors(topologyK), env.stragglers)
+	uncodedM, err := scheme.New("uncoded", f, scheme.NewConfig(
+		scheme.WithCoding(topologyN, topologyK),
+		scheme.WithSim(sc.Sim),
+		scheme.WithSeed(sc.Seed),
+	), mk(), env.behaviors(topologyK), env.stragglers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: uncoded: %w", err)
 	}

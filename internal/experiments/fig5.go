@@ -5,12 +5,12 @@ import (
 	"strings"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/dataset"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/logreg"
 	"repro/internal/metrics"
+	"repro/internal/scheme"
 )
 
 // Fig5Result compares dynamic AVCC against Static VCC in the paper's
@@ -56,13 +56,17 @@ func RunFig5(sc Scale) (*Fig5Result, error) {
 	}
 
 	run := func(dynamic bool) (*metrics.Series, error) {
-		m, err := avcc.NewMaster(f, avcc.Options{
-			Params:              avcc.Params{N: topologyN, K: topologyK, S: 2, M: 1, DegF: 1},
-			Sim:                 sc.Sim,
-			Seed:                sc.Seed,
-			Dynamic:             dynamic,
-			PregeneratedCodings: true,
-		}, mkData(), behaviors(), stragglers)
+		name := "avcc"
+		if !dynamic {
+			name = "static-vcc"
+		}
+		m, err := scheme.New(name, f, scheme.NewConfig(
+			scheme.WithCoding(topologyN, topologyK),
+			scheme.WithBudgets(2, 1, 0),
+			scheme.WithSim(sc.Sim),
+			scheme.WithSeed(sc.Seed),
+			scheme.WithPregeneratedCodings(true),
+		), mkData(), behaviors(), stragglers)
 		if err != nil {
 			return nil, err
 		}

@@ -121,6 +121,22 @@ func VStack(blocks []*Matrix) *Matrix {
 	return out
 }
 
+// PadRows returns m extended with zero rows to the next multiple of k
+// (identity when already divisible). The paper pads GISETTE the same way
+// before splitting it into K coded blocks.
+func PadRows(m *Matrix, k int) *Matrix {
+	if k <= 0 {
+		panic(fmt.Sprintf("fieldmat: cannot pad to a multiple of %d rows", k))
+	}
+	if m.Rows%k == 0 {
+		return m
+	}
+	rows := ((m.Rows + k - 1) / k) * k
+	out := NewMatrix(rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
 // SplitRows splits m into k consecutive row blocks. The paper requires K to
 // divide m (it pads otherwise); we enforce divisibility and let callers pad.
 func SplitRows(m *Matrix, k int) []*Matrix {

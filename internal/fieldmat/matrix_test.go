@@ -186,6 +186,39 @@ func TestDimensionMismatchPanics(t *testing.T) {
 	}
 }
 
+func TestPadRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	m := Rand(f, rng, 7, 3)
+
+	p := PadRows(m, 3)
+	if p.Rows != 9 || p.Cols != 3 {
+		t.Fatalf("PadRows(7x3, 3) = %dx%d, want 9x3", p.Rows, p.Cols)
+	}
+	if !field.EqualVec(p.Data[:len(m.Data)], m.Data) {
+		t.Fatal("padding altered the original rows")
+	}
+	for _, v := range p.Data[len(m.Data):] {
+		if v != 0 {
+			t.Fatal("padding rows must be zero")
+		}
+	}
+
+	// Identity when already divisible: same object, no copy.
+	if q := PadRows(m, 7); q != m {
+		t.Fatal("PadRows should return the input when rows divide evenly")
+	}
+	if q := PadRows(m, 1); q != m {
+		t.Fatal("PadRows with k=1 should be the identity")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("PadRows with k=0 did not panic")
+		}
+	}()
+	PadRows(m, 0)
+}
+
 func BenchmarkMatVec1200x600(b *testing.B) {
 	rng := rand.New(rand.NewSource(28))
 	m := Rand(f, rng, 1200, 600)

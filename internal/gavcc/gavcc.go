@@ -36,8 +36,8 @@ import (
 	"repro/internal/verify"
 )
 
-// roundKey is the single protocol round this master runs.
-const roundKey = "gram"
+// GramKey is the single protocol round key this master serves.
+const GramKey = "gram"
 
 // Options configure a Gram-computation deployment.
 type Options struct {
@@ -98,13 +98,7 @@ func NewMaster(f *field.Field, opt Options, x *fieldmat.Matrix,
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	padded := x
-	if x.Rows%opt.K != 0 {
-		rows := ((x.Rows + opt.K - 1) / opt.K) * opt.K
-		padded = fieldmat.NewMatrix(rows, x.Cols)
-		copy(padded.Data, x.Data)
-	}
-	blocks := fieldmat.SplitRows(padded, opt.K)
+	blocks := fieldmat.SplitRows(fieldmat.PadRows(x, opt.K), opt.K)
 	shards, err := code.EncodeBlocks(blocks, rng)
 	if err != nil {
 		return nil, err
@@ -121,8 +115,8 @@ func NewMaster(f *field.Field, opt Options, x *fieldmat.Matrix,
 	}
 	for i := range m.workers {
 		w := cluster.NewWorker(i)
-		w.Shards[roundKey] = shards[i]
-		w.Ops[roundKey] = cluster.GramOp{}
+		w.Shards[GramKey] = shards[i]
+		w.Ops[GramKey] = cluster.GramOp{}
 		if behaviors != nil {
 			w.Behavior = behaviors[i]
 		}
@@ -136,8 +130,46 @@ func NewMaster(f *field.Field, opt Options, x *fieldmat.Matrix,
 // SetExecutor swaps the executor (real-transport runs).
 func (m *Master) SetExecutor(e cluster.Executor) { m.exec = e }
 
+// Workers exposes the master's worker objects so real-transport deployments
+// can ship the encoded shards to the matching remote endpoints.
+func (m *Master) Workers() []*cluster.Worker { return m.workers }
+
 // BlockRows returns the padded per-block row count b.
 func (m *Master) BlockRows() int { return m.blockRows }
+
+// Name implements cluster.Master.
+func (m *Master) Name() string { return "gavcc" }
+
+// RunRound implements cluster.Master for the unified scheme API. The only
+// round key is "gram" and the round takes no input (each worker computes the
+// Gram matrix of its own shard); Decoded is the K decoded b×b Gram blocks
+// flattened in block order, reshapeable via BlockRows. Callers that want the
+// blocks as matrices use Run directly.
+func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	if key != GramKey {
+		return nil, fmt.Errorf("gavcc: unknown round key %q (the only round is %q)", key, GramKey)
+	}
+	if len(input) != 0 {
+		return nil, fmt.Errorf("gavcc: the %q round takes no input", GramKey)
+	}
+	res, err := m.Run(iter)
+	if err != nil {
+		return nil, err
+	}
+	out := &cluster.RoundOutput{
+		Decoded:   make([]field.Elem, 0, m.opt.K*m.blockRows*m.blockRows),
+		Breakdown: res.Breakdown,
+		Used:      res.Used,
+		Byzantine: res.Byzantine,
+	}
+	for _, g := range res.Blocks {
+		out.Decoded = append(out.Decoded, g.Data...)
+	}
+	return out, nil
+}
+
+// FinishIteration implements cluster.Master; the Gram master never re-codes.
+func (m *Master) FinishIteration(int) (float64, bool) { return 0, false }
 
 // Run executes one verified coded Gram round.
 func (m *Master) Run(iter int) (*Result, error) {
@@ -145,7 +177,7 @@ func (m *Master) Run(iter int) (*Result, error) {
 	for i := range active {
 		active[i] = i
 	}
-	results := m.exec.RunRound(roundKey, nil, iter, active)
+	results := m.exec.RunRound(GramKey, nil, iter, active)
 	threshold := m.code.Threshold()
 
 	out := &Result{}

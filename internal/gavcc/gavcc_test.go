@@ -150,7 +150,7 @@ func TestGramWithPrivacyMasks(t *testing.T) {
 	// With T=1 no worker shard may equal a raw block.
 	blocks := fieldmat.SplitRows(x, 4)
 	for _, w := range m.workers {
-		sh := w.Shards[roundKey]
+		sh := w.Shards[GramKey]
 		for j, b := range blocks {
 			if sh.Equal(b) {
 				t.Fatalf("worker %d holds raw block %d despite masking", w.ID, j)

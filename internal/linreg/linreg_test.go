@@ -5,10 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/dataset"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
+	"repro/internal/scheme"
 	"repro/internal/simnet"
 )
 
@@ -33,15 +33,15 @@ func smallData(t *testing.T) *dataset.Data {
 	return ds
 }
 
-func mkMaster(t *testing.T, ds *dataset.Data, behaviors []attack.Behavior) *avcc.Master {
+func mkMaster(t *testing.T, ds *dataset.Data, behaviors []attack.Behavior) scheme.Master {
 	t.Helper()
 	x := ds.FieldMatrix(f)
-	m, err := avcc.NewMaster(f, avcc.Options{
-		Params:  avcc.Params{N: 12, K: 9, S: 1, M: 1, DegF: 1},
-		Sim:     quietSim(),
-		Seed:    13,
-		Dynamic: true,
-	}, map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}, behaviors, nil)
+	m, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 1, 0),
+		scheme.WithSim(quietSim()),
+		scheme.WithSeed(13),
+	), map[string]*fieldmat.Matrix{"fwd": x, "bwd": x.Transpose()}, behaviors, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

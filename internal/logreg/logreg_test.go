@@ -5,12 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
-	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
+	"repro/internal/scheme"
 	"repro/internal/simnet"
 )
 
@@ -43,12 +42,12 @@ func roundData(ds *dataset.Data) map[string]*fieldmat.Matrix {
 
 func avccMaster(t *testing.T, ds *dataset.Data, s, m int, behaviors []attack.Behavior, st attack.StragglerSchedule) cluster.Master {
 	t.Helper()
-	mm, err := avcc.NewMaster(f, avcc.Options{
-		Params:  avcc.Params{N: 12, K: 9, S: s, M: m, DegF: 1},
-		Sim:     quietSim(),
-		Seed:    11,
-		Dynamic: true,
-	}, roundData(ds), behaviors, st)
+	mm, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(s, m, 0),
+		scheme.WithSim(quietSim()),
+		scheme.WithSeed(11),
+	), roundData(ds), behaviors, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +182,12 @@ func TestUncodedUnderAttackDegrades(t *testing.T) {
 	cfg := DefaultTrainConfig()
 	cfg.Iterations = 10
 
-	clean, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{K: 9, Sim: quietSim(), Seed: 5}, roundData(ds), nil, nil)
+	uncodedCfg := scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithSim(quietSim()),
+		scheme.WithSeed(5),
+	)
+	clean, err := scheme.New("uncoded", f, uncodedCfg, roundData(ds), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +204,7 @@ func TestUncodedUnderAttackDegrades(t *testing.T) {
 	// 2^WeightBits): the corrupted blocks train on e ≈ ±1 every iteration.
 	behaviors[3] = attack.Constant{V: 5_000_000}
 	behaviors[6] = attack.Constant{V: 5_000_000}
-	attacked, err := baseline.NewUncodedMaster(f, baseline.UncodedOptions{K: 9, Sim: quietSim(), Seed: 5}, roundData(ds), behaviors, nil)
+	attacked, err := scheme.New("uncoded", f, uncodedCfg, roundData(ds), behaviors, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

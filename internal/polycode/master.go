@@ -76,7 +76,7 @@ func NewMatMulMaster(f *field.Field, opt MatMulOptions, a, b *fieldmat.Matrix,
 	if err != nil {
 		return nil, err
 	}
-	ap := padRows(a, opt.P)
+	ap := fieldmat.PadRows(a, opt.P)
 	bp := padCols(b, opt.Q)
 	shards, err := code.Encode(ap, bp)
 	if err != nil {
@@ -177,16 +177,6 @@ type payload struct {
 	out     []field.Elem
 	compute float64
 	comm    float64
-}
-
-func padRows(x *fieldmat.Matrix, p int) *fieldmat.Matrix {
-	if x.Rows%p == 0 {
-		return x
-	}
-	rows := ((x.Rows + p - 1) / p) * p
-	out := fieldmat.NewMatrix(rows, x.Cols)
-	copy(out.Data, x.Data)
-	return out
 }
 
 func padCols(x *fieldmat.Matrix, q int) *fieldmat.Matrix {

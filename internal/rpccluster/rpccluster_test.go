@@ -5,11 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/attack"
-	"repro/internal/avcc"
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
-	"repro/internal/simnet"
+	"repro/internal/scheme"
 )
 
 var f = field.Default()
@@ -128,13 +127,11 @@ func TestAVCCMasterOverRealTCP(t *testing.T) {
 
 	x := fieldmat.Rand(f, rng, 36, 10)
 	data := map[string]*fieldmat.Matrix{"fwd": x}
-	sim := simnet.DefaultConfig()
-	master, err := avcc.NewMaster(f, avcc.Options{
-		Params:  avcc.Params{N: 12, K: 9, S: 1, M: 2, DegF: 1},
-		Sim:     sim,
-		Seed:    42,
-		Dynamic: true,
-	}, data, nil, nil)
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(42),
+	), data, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

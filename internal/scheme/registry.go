@@ -1,0 +1,156 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/avcc"
+	"repro/internal/baseline"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/gavcc"
+)
+
+// Constructor builds a backend's master. data maps round keys to the full
+// (unencoded) input matrices — {"fwd": X, "bwd": Xᵀ} for the two-round
+// training protocols, {"gram": X} for the Gram backend. behaviors may be nil
+// (all honest) or exactly WorkerCount long; stragglers may be nil.
+type Constructor func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error)
+
+type entry struct {
+	build Constructor
+	// workerCount reports how many workers the backend deploys under cfg,
+	// so callers can size behaviour slices before construction.
+	workerCount func(Config) int
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]entry)
+)
+
+// Register adds a backend under name. workerCount reports the deployment's
+// worker count for a given Config (nil means cfg.N). Registering a name
+// twice panics: scheme names are experiment-table identities, and silently
+// rebinding one would corrupt cross-run comparisons.
+func Register(name string, workerCount func(Config) int, build Constructor) {
+	if build == nil {
+		panic(fmt.Sprintf("scheme: nil constructor for %q", name))
+	}
+	if workerCount == nil {
+		workerCount = func(cfg Config) int { return cfg.N }
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scheme: %q registered twice", name))
+	}
+	registry[name] = entry{build: build, workerCount: workerCount}
+}
+
+// Names returns the registered scheme names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookup(name string) (entry, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return entry{}, fmt.Errorf("scheme: unknown scheme %q (registered: %v)", name, Names())
+	}
+	return e, nil
+}
+
+// WorkerCount reports how many workers the named scheme deploys under cfg —
+// the length a non-nil behaviors slice must have.
+func WorkerCount(name string, cfg Config) (int, error) {
+	e, err := lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return e.workerCount(cfg), nil
+}
+
+// New constructs the named scheme's master. It is the single construction
+// path for every backend; callers never touch the per-package constructors.
+func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+	e, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.build(f, cfg, data, behaviors, stragglers)
+}
+
+func init() {
+	avccOptions := func(cfg Config, dynamic bool) avcc.Options {
+		return avcc.Options{
+			Params: avcc.Params{
+				N: cfg.N, K: cfg.K, S: cfg.S, M: cfg.M, T: cfg.T,
+				DegF: cfg.DegF, VerifyTrials: cfg.VerifyTrials,
+			},
+			Sim:                 cfg.Sim,
+			Seed:                cfg.Seed,
+			Dynamic:             dynamic,
+			PregeneratedCodings: cfg.PregeneratedCodings,
+		}
+	}
+	Register("avcc", nil, func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+		behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+		return avcc.NewMaster(f, avccOptions(cfg, cfg.Dynamic), data, behaviors, stragglers)
+	})
+	// static-vcc is the paper's non-adaptive comparison point: the same
+	// verified master with re-coding forced off, whatever cfg.Dynamic says.
+	Register("static-vcc", nil, func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+		behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+		return avcc.NewMaster(f, avccOptions(cfg, false), data, behaviors, stragglers)
+	})
+	Register("gavcc", nil, func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+		behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+		x, ok := data[gavcc.GramKey]
+		if !ok || len(data) != 1 {
+			return nil, fmt.Errorf("scheme: gavcc wants exactly one data matrix under %q, got keys %v",
+				gavcc.GramKey, dataKeys(data))
+		}
+		return gavcc.NewMaster(f, gavcc.Options{
+			N: cfg.N, K: cfg.K, S: cfg.S, M: cfg.M, T: cfg.T,
+			Sim: cfg.Sim, Seed: cfg.Seed,
+		}, x, behaviors, stragglers)
+	})
+	Register("lcc", nil, func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+		behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+		return baseline.NewLCCMaster(f, baseline.LCCOptions{
+			N: cfg.N, K: cfg.K, S: cfg.S, M: cfg.M, T: cfg.T,
+			DegF: cfg.DegF, Sim: cfg.Sim, Seed: cfg.Seed,
+		}, data, behaviors, stragglers)
+	})
+	// The uncoded baseline deploys exactly K workers (no redundancy).
+	Register("uncoded", func(cfg Config) int { return cfg.K },
+		func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+			behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+			return baseline.NewUncodedMaster(f, baseline.UncodedOptions{
+				K: cfg.K, Sim: cfg.Sim, Seed: cfg.Seed,
+			}, data, behaviors, stragglers)
+		})
+}
+
+func dataKeys(data map[string]*fieldmat.Matrix) []string {
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

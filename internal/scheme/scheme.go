@@ -1,0 +1,156 @@
+// Package scheme is the unified entry point to every coded-computing
+// backend in this repository.
+//
+// The paper's core claim is that straggler tolerance, Byzantine robustness,
+// and privacy are orthogonal, swappable concerns. This package makes that
+// swappability a first-class API: all masters — AVCC and Static VCC
+// (internal/avcc), Generalized AVCC (internal/gavcc), and the LCC and
+// uncoded baselines (internal/baseline) — implement one Master interface,
+// are configured through one Config built from functional options, and are
+// constructed through one registry lookup:
+//
+//	cfg := scheme.NewConfig(
+//		scheme.WithCoding(12, 9),
+//		scheme.WithBudgets(1, 2, 0),
+//		scheme.WithSeed(42),
+//	)
+//	master, err := scheme.New("avcc", f, cfg, data, behaviors, stragglers)
+//
+// Applications (internal/logreg, internal/linreg), the experiment drivers
+// (internal/experiments), the CLIs, and the examples all construct masters
+// exclusively through this package, so adding a backend — an RPC-distributed
+// master over internal/rpccluster, a sharded or batched master — is one
+// Register call, after which every driver and experiment can run it.
+package scheme
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// Master is the interface every coded-computing backend implements. It
+// extends the protocol-side cluster.Master (Name, RunRound, FinishIteration)
+// with the deployment hooks real-transport runs need: swapping the executor
+// and reaching the worker objects that hold the encoded shards.
+type Master interface {
+	cluster.Master
+	// SetExecutor swaps the round executor (virtual-time simulation by
+	// default; an rpccluster client for real-transport deployments).
+	SetExecutor(e cluster.Executor)
+	// Workers exposes the master's worker objects so deployments can ship
+	// each worker's encoded shards to the matching remote endpoint.
+	Workers() []*cluster.Worker
+}
+
+// Adaptive is the optional interface of masters that re-code at runtime
+// (currently the AVCC master). Callers that want to display or assert the
+// evolving code state type-assert a Master to it.
+type Adaptive interface {
+	// Coding returns the current code parameters (N_t, K_t).
+	Coding() (n, k int)
+	// ActiveWorkers returns the non-quarantined worker IDs.
+	ActiveWorkers() []int
+}
+
+// Blocked is the optional interface of masters whose round output is a
+// sequence of equal-sized square blocks flattened into RoundOutput.Decoded
+// (currently the Generalized-AVCC Gram master). BlockRows is the side
+// length b of each block.
+type Blocked interface {
+	BlockRows() int
+}
+
+// Config is the scheme-independent configuration every backend draws from.
+// Build it with NewConfig and the With* options; each backend consumes the
+// fields that apply to it (the uncoded baseline, for example, has no coding
+// or budgets beyond K, and only the AVCC master re-codes dynamically).
+type Config struct {
+	// N is the total worker count; K is the code dimension (data split
+	// count). The uncoded baseline runs exactly K workers.
+	N, K int
+	// S, M, T are the straggler, Byzantine, and privacy/collusion budgets.
+	S, M, T int
+	// DegF is the degree of the computed polynomial (1 for matvec rounds;
+	// the gavcc backend fixes its own degree of 2).
+	DegF int
+	// VerifyTrials amplifies Freivalds soundness to (1/q)^trials; 0 means
+	// the paper's single trial.
+	VerifyTrials int
+	// Sim is the latency model used for virtual-time accounting.
+	Sim simnet.Config
+	// Seed drives all master-side randomness (verification keys, privacy
+	// masks, jitter) for reproducible runs.
+	Seed int64
+	// Dynamic enables AVCC's dynamic re-coding (Section IV step 5). The
+	// "static-vcc" scheme name forces it off.
+	Dynamic bool
+	// PregeneratedCodings models offline-generated alternative codings: a
+	// re-code charges only shard redistribution, not re-encoding.
+	PregeneratedCodings bool
+}
+
+// Option mutates a Config under construction.
+type Option func(*Config)
+
+// NewConfig returns the default configuration — the paper's (12, 9)
+// topology with budgets S = M = 1, T = 0, a degree-1 computation, the
+// calibrated latency model, and dynamic re-coding on — overridden by the
+// given options.
+func NewConfig(opts ...Option) Config {
+	cfg := Config{
+		N:       12,
+		K:       9,
+		S:       1,
+		M:       1,
+		T:       0,
+		DegF:    1,
+		Sim:     simnet.DefaultConfig(),
+		Seed:    1,
+		Dynamic: true,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// WithCoding sets the (N, K) code parameters.
+func WithCoding(n, k int) Option {
+	return func(c *Config) { c.N, c.K = n, k }
+}
+
+// WithBudgets sets the straggler (S), Byzantine (M), and privacy (T) budgets.
+func WithBudgets(s, m, t int) Option {
+	return func(c *Config) { c.S, c.M, c.T = s, m, t }
+}
+
+// WithDegF sets the computed polynomial's degree.
+func WithDegF(degF int) Option {
+	return func(c *Config) { c.DegF = degF }
+}
+
+// WithSim sets the latency model.
+func WithSim(sim simnet.Config) Option {
+	return func(c *Config) { c.Sim = sim }
+}
+
+// WithSeed sets the master-side randomness seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithDynamic toggles AVCC's dynamic re-coding.
+func WithDynamic(dynamic bool) Option {
+	return func(c *Config) { c.Dynamic = dynamic }
+}
+
+// WithVerifyTrials sets the Freivalds amplification factor.
+func WithVerifyTrials(trials int) Option {
+	return func(c *Config) { c.VerifyTrials = trials }
+}
+
+// WithPregeneratedCodings toggles the offline-coding-generation model under
+// which a re-code charges only redistribution.
+func WithPregeneratedCodings(pregenerated bool) Option {
+	return func(c *Config) { c.PregeneratedCodings = pregenerated }
+}
