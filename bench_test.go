@@ -12,8 +12,11 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/gavcc"
 	"repro/internal/lcc"
 	"repro/internal/logreg"
+	"repro/internal/scenario"
 	"repro/internal/scheme"
 	"repro/internal/verify"
 )
@@ -136,7 +140,7 @@ func BenchmarkFig5(b *testing.B) {
 	b.ReportMetric((res.StaticVCC.TotalTime()-res.AVCC.TotalTime())*1e3, "saved-vms")
 }
 
-// --- Ablations (DESIGN.md Section 5) ---
+// --- Ablations (DESIGN.md Section 6) ---
 
 // BenchmarkAblationVerifyTrials sweeps the Freivalds amplification factor:
 // soundness (1/q)^t versus verification time.
@@ -324,6 +328,112 @@ func BenchmarkAblationStragglerFactor(b *testing.B) {
 			}
 			b.ReportMetric(res.LCC.TotalTime()/res.AVCC.TotalTime(), "x-avcc-over-lcc")
 		})
+	}
+}
+
+// --- Scenario profiles: per-profile iteration cost across schemes ---
+
+// scenarioBenchRecord is one (profile, scheme) cell of BENCH_scenarios.json.
+type scenarioBenchRecord struct {
+	Profile string `json:"profile"`
+	Scheme  string `json:"scheme"`
+	// VirtualMsPerIter is the simulated per-round cost (wall + amortised
+	// re-coding), the quantity the paper's figures are made of.
+	VirtualMsPerIter float64 `json:"virtual_ms_per_iter"`
+	// WallNsPerIter is the host-machine cost of simulating one round.
+	WallNsPerIter int64 `json:"wall_ns_per_iter"`
+	Rounds        int   `json:"rounds"`
+	Recodes       int   `json:"recodes"`
+}
+
+// runScenarioBench runs one scheme under one profile and returns the summed
+// virtual time (including re-code costs), the re-code count, and the host
+// wall time of the rounds loop alone (setup — scenario compilation, master
+// construction, encoding — excluded, so the artifact tracks per-round
+// simulation cost, not amortised setup).
+func runScenarioBench(b *testing.B, profile, name string, rounds int) (virtualSec float64, recodes int, roundsWall time.Duration) {
+	b.Helper()
+	f := field.Default()
+	rng := rand.New(rand.NewSource(11))
+	x := fieldmat.Rand(f, rng, 360, 120)
+	scn, err := scenario.Profile(profile, 12, 9, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := experiments.CI().Sim
+	m, err := scheme.New(name, f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 1, 0),
+		scheme.WithSim(sim),
+		scheme.WithSeed(11),
+		scheme.WithPregeneratedCodings(true),
+		scheme.WithScenario(scn),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := f.RandVec(rng, 120)
+	start := time.Now()
+	for iter := 0; iter < rounds; iter++ {
+		out, err := m.RunRound("fwd", w, iter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtualSec += out.Breakdown.Wall
+		cost, recoded := m.FinishIteration(iter)
+		virtualSec += cost
+		if recoded {
+			recodes++
+		}
+	}
+	return virtualSec, recodes, time.Since(start)
+}
+
+// BenchmarkScenarioProfiles measures per-profile iteration cost for avcc vs.
+// lcc vs. uncoded under every scenario preset and writes the results to
+// BENCH_scenarios.json, so the perf trajectory across PRs is recorded in a
+// machine-readable artifact.
+func BenchmarkScenarioProfiles(b *testing.B) {
+	const rounds = 10
+	schemes := []string{"avcc", "lcc", "uncoded"}
+	var records []scenarioBenchRecord
+	for _, profile := range scenario.Profiles() {
+		for _, name := range schemes {
+			var rec scenarioBenchRecord
+			b.Run(profile+"/"+name, func(b *testing.B) {
+				var virtualSec float64
+				var recodes int
+				var roundsWall time.Duration
+				for i := 0; i < b.N; i++ {
+					virtualSec, recodes, roundsWall = runScenarioBench(b, profile, name, rounds)
+				}
+				rec = scenarioBenchRecord{
+					Profile:          profile,
+					Scheme:           name,
+					VirtualMsPerIter: virtualSec * 1e3 / rounds,
+					WallNsPerIter:    roundsWall.Nanoseconds() / int64(rounds),
+					Rounds:           rounds,
+					Recodes:          recodes,
+				}
+				b.ReportMetric(rec.VirtualMsPerIter, "vms/iter")
+			})
+			if rec.Scheme != "" { // zero when -bench filtered this cell out
+				records = append(records, rec)
+			}
+		}
+	}
+	// Only a full matrix may replace the committed artifact: a filtered
+	// -bench run must not clobber the perf-trajectory record.
+	if len(records) < len(scenario.Profiles())*len(schemes) {
+		b.Logf("skipping BENCH_scenarios.json: %d of %d cells ran", len(records), len(scenario.Profiles())*len(schemes))
+		return
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scenarios.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

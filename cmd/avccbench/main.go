@@ -6,9 +6,13 @@
 //	avccbench -exp all              # everything
 //	avccbench -exp table1 -scale paper   # full GISETTE-sized run (minutes)
 //	avccbench -exp fig3c -iters 30 -train-n 2000 -features 1000
+//	avccbench -exp scenarios -seed 3     # scheme x fault-profile matrix
 //
-// Experiment ids: fig3a fig3b fig3c fig3d table1 fig4a fig4b fig4c fig5.
-// See EXPERIMENTS.md for the expected shapes versus the paper's results.
+// Experiment ids: fig3a fig3b fig3c fig3d table1 fig4a fig4b fig4c fig5
+// scenarios. See EXPERIMENTS.md for the expected shapes versus the paper's
+// results; the scenarios matrix runs every registered backend through every
+// fault-injection preset (internal/scenario) and reports cost, adaptation,
+// and bit-exactness per cell.
 package main
 
 import (
@@ -60,7 +64,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig3a", "fig3b", "fig3c", "fig3d", "table1", "fig4a", "fig4b", "fig4c", "fig5"}
+		ids = []string{"fig3a", "fig3b", "fig3c", "fig3d", "table1", "fig4a", "fig4b", "fig4c", "fig5", "scenarios"}
 	}
 	for _, id := range ids {
 		if err := run(sc, id, *csvDir); err != nil {
@@ -118,6 +122,12 @@ func run(sc experiments.Scale, id, csvDir string) error {
 			return err
 		}
 		fmt.Println(res.Render())
+	case id == "scenarios":
+		rows, err := experiments.RunScenarioMatrix(sc, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderScenarioMatrix(rows))
 	case id == "fig5":
 		res, err := experiments.RunFig5(sc)
 		if err != nil {

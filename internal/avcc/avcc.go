@@ -323,8 +323,18 @@ func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.Ro
 		byzSet[id] = true
 	}
 	med := median(processedArrivals)
+	arrived := make(map[int]bool, len(results))
 	for _, r := range results {
+		arrived[r.Worker] = true
 		if r.ArriveAt > stragglerDetectFactor*med && !byzSet[r.Worker] {
+			out.StragglersObserved++
+		}
+	}
+	// Active workers with no result at all — crashed nodes, dropped
+	// messages — are stragglers with infinite arrival time: erasures the
+	// adaptation rule must see, or churn would never trigger a re-code.
+	for _, id := range m.active {
+		if !arrived[id] {
 			out.StragglersObserved++
 		}
 	}

@@ -96,6 +96,12 @@ func (m *UncodedMaster) RunRound(key string, input []field.Elem, iter int) (*clu
 		active[i] = i
 	}
 	results := m.exec.RunRound(key, input, iter, active)
+	// No redundancy means no erasure tolerance: a crashed worker's block is
+	// simply gone. Fail loudly rather than silently zero-filling the output.
+	if len(results) < m.opt.K {
+		return nil, fmt.Errorf("baseline: uncoded round got %d of %d worker results (a worker crashed or its message was lost; the uncoded scheme cannot recover)",
+			len(results), m.opt.K)
+	}
 
 	out := &cluster.RoundOutput{}
 	blockLen := m.blockRows[key]

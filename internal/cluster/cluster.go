@@ -132,7 +132,9 @@ type Result struct {
 }
 
 // Executor runs one round across the given active workers and returns
-// results ordered by arrival.
+// results ordered by arrival. Workers that are crashed or whose messages
+// are lost (time-varying scenario state) simply have no result: erasures,
+// exactly what the codes are there to absorb.
 type Executor interface {
 	RunRound(key string, input []field.Elem, iter int, active []int) []Result
 }
@@ -145,6 +147,10 @@ type VirtualExecutor struct {
 	Workers    []*Worker
 	Stragglers attack.StragglerSchedule
 	Rng        *rand.Rand
+	// Dynamics overlays time-varying environment state (per-worker rate
+	// curves, link degradation, crashes, drops); nil means the steady
+	// world.
+	Dynamics simnet.Dynamics
 }
 
 // NewVirtualExecutor wires up a virtual cluster. stragglers may be nil for
@@ -159,10 +165,18 @@ func NewVirtualExecutor(f *field.Field, cfg simnet.Config, workers []*Worker, st
 	}
 }
 
-// RunRound implements Executor in virtual time.
+// RunRound implements Executor in virtual time. Crashed workers are skipped
+// outright; dropped results enter the event queue (the loss happens at what
+// would have been the arrival instant) but are filtered out of the returned
+// results, so both read as erasures to the master.
 func (e *VirtualExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []Result {
+	dyn := e.Dynamics
 	q := simnet.NewQueue()
+	var dropped map[int]bool
 	for _, id := range active {
+		if dyn != nil && dyn.Crashed(id, iter) {
+			continue
+		}
 		w := e.Workers[id]
 		out, ops, err := w.Compute(e.F, key, input, iter)
 		sendIn := e.Cfg.CommTime(len(input))
@@ -170,6 +184,19 @@ func (e *VirtualExecutor) RunRound(key string, input []field.Elem, iter int, act
 		if err == nil {
 			compute = e.Cfg.ComputeTime(ops, e.Stragglers.IsStraggler(id, iter), e.Rng)
 			sendOut = e.Cfg.CommTime(len(out))
+		}
+		if dyn != nil {
+			compute *= dyn.ComputeFactor(id, iter)
+			link := dyn.LinkFactor(id, iter)
+			sendIn *= link
+			sendOut *= link
+			if dyn.Dropped(id, iter) {
+				if dropped == nil {
+					dropped = make(map[int]bool)
+				}
+				dropped[id] = true
+				out = nil
+			}
 		}
 		res := Result{
 			Worker:     id,
@@ -187,18 +214,27 @@ func (e *VirtualExecutor) RunRound(key string, input []field.Elem, iter int, act
 		if !ok {
 			break
 		}
+		if dropped[a.Worker] {
+			continue // the loss event: the message vanishes at arrival time
+		}
 		results = append(results, a.Payload.(Result))
 	}
 	return results
 }
 
 // GoExecutor runs workers as goroutines with wall-clock timing. Straggling
-// workers sleep for StragglerDelay before responding.
+// workers sleep for StragglerDelay before responding; scenario slowdowns
+// and link degradation sleep proportionally (StragglerDelay x (factor-1)
+// each), so StragglerDelay is the executor's unit of slowness.
 type GoExecutor struct {
 	F              *field.Field
 	Workers        []*Worker
 	Stragglers     attack.StragglerSchedule
 	StragglerDelay time.Duration
+	// Dynamics overlays time-varying environment state; nil means the
+	// steady world. Crashed workers spawn no goroutine; dropped results are
+	// computed but never delivered.
+	Dynamics simnet.Dynamics
 }
 
 // RunRound implements Executor with real concurrency; results are ordered
@@ -208,11 +244,15 @@ func (e *GoExecutor) RunRound(key string, input []field.Elem, iter int, active [
 	if stragglers == nil {
 		stragglers = attack.NoStragglers{}
 	}
+	dyn := e.Dynamics
 	start := time.Now()
 	var mu sync.Mutex
 	results := make([]Result, 0, len(active))
 	var wg sync.WaitGroup
 	for _, id := range active {
+		if dyn != nil && dyn.Crashed(id, iter) {
+			continue
+		}
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -221,6 +261,17 @@ func (e *GoExecutor) RunRound(key string, input []field.Elem, iter int, active [
 			out, _, err := w.Compute(e.F, key, input, iter)
 			if stragglers.IsStraggler(id, iter) {
 				time.Sleep(e.StragglerDelay)
+			}
+			if dyn != nil {
+				// Compute slowdown and link degradation both stretch this
+				// worker's wall time; StragglerDelay is the unit for each.
+				slow := (dyn.ComputeFactor(id, iter) - 1) + (dyn.LinkFactor(id, iter) - 1)
+				if slow > 0 {
+					time.Sleep(time.Duration(float64(e.StragglerDelay) * slow))
+				}
+				if dyn.Dropped(id, iter) {
+					return // computed, but the message never arrives
+				}
 			}
 			elapsed := time.Since(t0).Seconds()
 			mu.Lock()

@@ -200,6 +200,103 @@ func TestGoExecutorStragglerDelay(t *testing.T) {
 	}
 }
 
+// scriptedDynamics is a hand-written simnet.Dynamics for executor tests.
+type scriptedDynamics struct {
+	crashed map[int]bool
+	dropped map[int]bool
+	rate    map[int]float64
+	link    map[int]float64
+}
+
+func (d scriptedDynamics) ComputeFactor(w, _ int) float64 {
+	if f, ok := d.rate[w]; ok {
+		return f
+	}
+	return 1
+}
+
+func (d scriptedDynamics) LinkFactor(w, _ int) float64 {
+	if f, ok := d.link[w]; ok {
+		return f
+	}
+	return 1
+}
+
+func (d scriptedDynamics) Crashed(w, _ int) bool { return d.crashed[w] }
+func (d scriptedDynamics) Dropped(w, _ int) bool { return d.dropped[w] }
+
+func TestVirtualExecutorDynamics(t *testing.T) {
+	rng := rand.New(rand.NewSource(138))
+	workers, _ := buildWorkers(t, rng, 5, 8, 8)
+	cfg := simnet.DefaultConfig()
+	cfg.JitterFrac = 0
+	ex := NewVirtualExecutor(f, cfg, workers, nil, 1)
+	ex.Dynamics = scriptedDynamics{
+		crashed: map[int]bool{0: true},
+		dropped: map[int]bool{1: true},
+		rate:    map[int]float64{2: 8},
+		link:    map[int]float64{3: 5},
+	}
+	in := f.RandVec(rng, 8)
+	results := ex.RunRound("fwd", in, 0, []int{0, 1, 2, 3, 4})
+	// Crashed and dropped workers are erasures: absent from the results.
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (one crash, one drop)", len(results))
+	}
+	byWorker := map[int]Result{}
+	for _, r := range results {
+		byWorker[r.Worker] = r
+	}
+	if _, ok := byWorker[0]; ok {
+		t.Fatal("crashed worker returned a result")
+	}
+	if _, ok := byWorker[1]; ok {
+		t.Fatal("dropped worker's result reached the master")
+	}
+	base := byWorker[4]
+	slow := byWorker[2]
+	if got, want := slow.ComputeSec, 8*base.ComputeSec; !approx(got, want) {
+		t.Errorf("rate curve not applied: compute %g, want %g", got, want)
+	}
+	degraded := byWorker[3]
+	if got, want := degraded.CommSec, 5*base.CommSec; !approx(got, want) {
+		t.Errorf("link factor not applied: comm %g, want %g", got, want)
+	}
+}
+
+func approx(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-12*(1+b)
+}
+
+func TestGoExecutorDynamics(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	workers, _ := buildWorkers(t, rng, 4, 4, 4)
+	ex := &GoExecutor{
+		F: f, Workers: workers,
+		StragglerDelay: 30 * time.Millisecond,
+		Dynamics: scriptedDynamics{
+			crashed: map[int]bool{0: true},
+			dropped: map[int]bool{1: true},
+			rate:    map[int]float64{2: 2}, // sleeps StragglerDelay x (2-1)
+			link:    map[int]float64{2: 2}, // and StragglerDelay x (2-1) more
+		},
+	}
+	results := ex.RunRound("fwd", f.RandVec(rng, 4), 0, []int{0, 1, 2, 3})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (one crash, one drop)", len(results))
+	}
+	if results[len(results)-1].Worker != 2 {
+		t.Fatalf("slowed worker should finish last, got %d", results[len(results)-1].Worker)
+	}
+	if results[len(results)-1].ArriveAt < 0.055 {
+		t.Fatal("scenario slowdown + link-degradation sleeps not applied")
+	}
+}
+
 func TestMatVecOpExplicit(t *testing.T) {
 	rng := rand.New(rand.NewSource(140))
 	shard := fieldmat.Rand(f, rng, 5, 4)

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/scheme"
+)
+
+func TestScenarioMatrixCoversEverySchemeAndProfile(t *testing.T) {
+	sc := CI()
+	sc.Dataset.TrainN, sc.Dataset.Features = 360, 120
+	rows, err := RunScenarioMatrix(sc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(scheme.Names()) * len(scenario.Profiles()); len(rows) != want {
+		t.Fatalf("matrix has %d rows, want %d (schemes x profiles)", len(rows), want)
+	}
+	var avccChurnRecodes int
+	for _, r := range rows {
+		if !r.Exact {
+			t.Errorf("%s under %s: decode not bit-exact", r.Scheme, r.Profile)
+		}
+		if r.Scheme == "avcc" && r.Profile == scenario.Churn {
+			avccChurnRecodes = r.Recodes
+		}
+		if r.Profile == scenario.Steady && r.Recodes != 0 {
+			t.Errorf("%s re-coded in the steady profile", r.Scheme)
+		}
+	}
+	if avccChurnRecodes == 0 {
+		t.Error("avcc under churn never re-coded")
+	}
+	if out := RenderScenarioMatrix(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -10,6 +10,7 @@
 package rpccluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -52,11 +53,17 @@ func (s *WorkerService) Compute(args *ComputeArgs, reply *ComputeReply) error {
 	return nil
 }
 
-// Server is one running worker endpoint.
+// Server is one running worker endpoint. Close tears down the listener AND
+// every established connection, so closing a server mid-round behaves like
+// the machine dying: in-flight calls fail at the client instead of hanging.
 type Server struct {
 	Addr     string
 	listener net.Listener
 	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
 // Serve starts a worker RPC server on addr (use "127.0.0.1:0" to pick a
@@ -73,7 +80,7 @@ func Serve(addr string, f *field.Field, w *cluster.Worker) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{Addr: l.Addr().String(), listener: l}
+	s := &Server{Addr: l.Addr().String(), listener: l, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -82,23 +89,69 @@ func Serve(addr string, f *field.Field, w *cluster.Worker) (*Server, error) {
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			if !s.track(conn) {
+				conn.Close()
+				return
+			}
+			go func() {
+				defer s.untrack(conn)
+				srv.ServeConn(conn)
+			}()
 		}
 	}()
 	return s, nil
 }
 
-// Close stops accepting connections and waits for the accept loop to exit.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops accepting connections, severs all established connections
+// (failing any in-flight calls), and waits for the accept loop to exit.
 func (s *Server) Close() error {
 	err := s.listener.Close()
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
+
+// DefaultCallTimeout bounds each worker RPC unless the caller overrides
+// Timeout. A crashed or wedged endpoint costs one timeout, not a wedged
+// round: coded computing treats the worker as missing (an erasure) and
+// decodes from the survivors.
+const DefaultCallTimeout = 30 * time.Second
 
 // RPCExecutor implements cluster.Executor against remote workers.
 type RPCExecutor struct {
 	clients []*rpc.Client
 	ids     []int
+	// Timeout is the per-call deadline. A call that exceeds it — or fails
+	// at the transport layer (dead endpoint, severed connection) — yields
+	// no Result at all: the worker is reported missing, an erasure the
+	// master's code absorbs, exactly as the virtual executor models crashed
+	// workers. Worker-side application errors (e.g. a missing shard) still
+	// surface as Result.Err: the endpoint is alive and answered, so hiding
+	// its answer would mask deployment bugs. Zero means DefaultCallTimeout;
+	// negative disables the deadline.
+	Timeout time.Duration
 }
 
 // Dial connects to worker endpoints. addrs[i] must host the worker whose
@@ -134,8 +187,46 @@ func (e *RPCExecutor) Close() {
 	}
 }
 
-// RunRound implements cluster.Executor: issue all calls concurrently and
-// order results by real completion time.
+// errCallTimeout marks a call that outlived the per-call deadline.
+var errCallTimeout = errors.New("rpccluster: call deadline exceeded")
+
+// callTimeout resolves the configured per-call deadline.
+func (e *RPCExecutor) callTimeout() time.Duration {
+	switch {
+	case e.Timeout == 0:
+		return DefaultCallTimeout
+	case e.Timeout < 0:
+		return 0
+	default:
+		return e.Timeout
+	}
+}
+
+// call issues one worker RPC under the per-call deadline. On timeout the
+// pending call is abandoned (net/rpc keeps the goroutine until the client
+// closes); the caller treats the worker as missing.
+func (e *RPCExecutor) call(ci, id int, args *ComputeArgs, reply *ComputeReply) error {
+	c := e.clients[ci].Go(fmt.Sprintf("Worker%d.Compute", id), args, reply, make(chan *rpc.Call, 1))
+	timeout := e.callTimeout()
+	if timeout <= 0 {
+		<-c.Done
+		return c.Error
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-c.Done:
+		return c.Error
+	case <-timer.C:
+		return errCallTimeout
+	}
+}
+
+// RunRound implements cluster.Executor: issue all calls concurrently under
+// per-call deadlines and order results by real completion time. Workers
+// whose calls time out or fail at the transport layer are omitted from the
+// results — erasures, matching the virtual executor's crash semantics — so
+// a dead endpoint costs the master one deadline instead of a hung round.
 func (e *RPCExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []cluster.Result {
 	idx := make(map[int]int, len(e.ids))
 	for i, id := range e.ids {
@@ -156,8 +247,14 @@ func (e *RPCExecutor) RunRound(key string, input []field.Elem, iter int, active 
 			} else {
 				t0 := time.Now()
 				var reply ComputeReply
-				err := e.clients[ci].Call(fmt.Sprintf("Worker%d.Compute", id),
-					&ComputeArgs{Key: key, Input: input, Iter: iter}, &reply)
+				err := e.call(ci, id, &ComputeArgs{Key: key, Input: input, Iter: iter}, &reply)
+				var serverErr rpc.ServerError
+				if err != nil && !errors.As(err, &serverErr) {
+					// Timeout or transport failure: the endpoint is gone.
+					// Report the worker missing rather than poisoning the
+					// round with an error the master cannot act on.
+					return
+				}
 				res.ComputeSec = time.Since(t0).Seconds()
 				res.Output = reply.Output
 				res.Err = err

@@ -3,6 +3,7 @@ package rpccluster
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
@@ -12,6 +13,19 @@ import (
 )
 
 var f = field.Default()
+
+// stall is a worker behaviour that blocks for Delay before responding —
+// the RPC-level stand-in for a wedged or dying machine.
+type stall struct {
+	Delay time.Duration
+}
+
+func (s stall) Apply(_ *field.Field, _ int, honest []field.Elem) []field.Elem {
+	time.Sleep(s.Delay)
+	return honest
+}
+
+func (stall) Name() string { return "stall" }
 
 // startCluster spins n worker RPC servers on loopback and returns a
 // connected executor plus the shard-holding workers (so the test can attach
@@ -115,6 +129,159 @@ func TestRPCMissingWorkerConnection(t *testing.T) {
 	}
 	if !missingErr {
 		t.Fatal("missing connection should surface as an error result")
+	}
+}
+
+func TestRPCCallDeadlineReportsWorkerMissing(t *testing.T) {
+	// Regression: RunRound used to have no call deadline, so a wedged
+	// worker blocked the round forever. A call that outlives Timeout must
+	// be reported as an erasure — no result for that worker — while the
+	// healthy workers' results come back.
+	rng := rand.New(rand.NewSource(204))
+	workers, exec := startCluster(t, 3)
+	for _, w := range workers {
+		w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+	}
+	workers[1].Behavior = stall{Delay: 5 * time.Second}
+	exec.Timeout = 100 * time.Millisecond
+
+	start := time.Now()
+	results := exec.RunRound("fwd", f.RandVec(rng, 2), 0, []int{0, 1, 2})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("round took %v: the deadline did not bound the wedged call", elapsed)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (the wedged worker is an erasure)", len(results))
+	}
+	for _, r := range results {
+		if r.Worker == 1 {
+			t.Fatal("the wedged worker must be missing, not present")
+		}
+		if r.Err != nil {
+			t.Fatalf("healthy worker %d errored: %v", r.Worker, r.Err)
+		}
+	}
+}
+
+func TestRPCServerKilledMidRoundBecomesErasure(t *testing.T) {
+	// Regression: kill a worker's server while its call is in flight. The
+	// severed connection must surface as an erasure — the master decodes
+	// from the survivors — not as a round-poisoning error or a hang.
+	rng := rand.New(rand.NewSource(205))
+	workers := make([]*cluster.Worker, 3)
+	addrs := make([]string, 3)
+	servers := make([]*Server, 3)
+	for i := range workers {
+		workers[i] = cluster.NewWorker(i)
+		workers[i].Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+		srv, err := Serve("127.0.0.1:0", f, workers[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	exec, err := Dial(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+	exec.Timeout = 5 * time.Second
+
+	// Worker 2 stalls long enough for the kill to land mid-call.
+	workers[2].Behavior = stall{Delay: 2 * time.Second}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		servers[2].Close()
+	}()
+
+	start := time.Now()
+	results := exec.RunRound("fwd", f.RandVec(rng, 2), 0, []int{0, 1, 2})
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("round took %v after the mid-round kill", elapsed)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (the killed worker is an erasure)", len(results))
+	}
+	for _, r := range results {
+		if r.Worker == 2 {
+			t.Fatal("the killed worker must be missing from the results")
+		}
+		if r.Err != nil {
+			t.Fatalf("surviving worker %d errored: %v", r.Worker, r.Err)
+		}
+	}
+}
+
+func TestAVCCDecodesAroundAWorkerDiesIn(t *testing.T) {
+	// End to end: a worker process dies mid-training; the AVCC master sees
+	// an erasure, decodes from the survivors, and the output stays exact.
+	rng := rand.New(rand.NewSource(206))
+	workers := make([]*cluster.Worker, 12)
+	addrs := make([]string, 12)
+	servers := make([]*Server, 12)
+	for i := range workers {
+		workers[i] = cluster.NewWorker(i)
+		srv, err := Serve("127.0.0.1:0", f, workers[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	exec, err := Dial(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+	exec.Timeout = 5 * time.Second
+
+	x := fieldmat.Rand(f, rng, 36, 10)
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(43),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range master.Workers() {
+		workers[i].Shards["fwd"] = w.Shards["fwd"]
+	}
+	master.SetExecutor(exec)
+
+	w := f.RandVec(rng, 10)
+	want := fieldmat.MatVec(f, x, w)
+	if out, err := master.RunRound("fwd", w, 0); err != nil {
+		t.Fatal(err)
+	} else if !field.EqualVec(out.Decoded, want) {
+		t.Fatal("pre-crash round decoded wrong")
+	}
+	servers[7].Close() // the machine dies between rounds
+	out, err := master.RunRound("fwd", w, 1)
+	if err != nil {
+		t.Fatalf("round with a dead worker must still decode: %v", err)
+	}
+	if !field.EqualVec(out.Decoded, want) {
+		t.Fatal("post-crash round decoded wrong")
+	}
+	for _, id := range out.Used {
+		if id == 7 {
+			t.Fatal("dead worker contributed to the decode")
+		}
+	}
+	if out.StragglersObserved < 1 {
+		t.Error("the dead worker should be observed as a straggler (an erasure)")
 	}
 }
 

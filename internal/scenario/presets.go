@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Preset profile names. Each is a family of scenarios parameterised by
+// (n, k, seed): n is the deployment's worker count, k is the fault-free
+// core size. Integrity-affecting events (crash, drop, byzantine) are placed
+// only on the redundancy workers [k, n), so every scheme sharing the
+// environment — including the uncoded baseline, which deploys exactly the k
+// core workers and has zero correction budget — keeps decoding exactly,
+// while the coded schemes absorb the faults inside their budgets. Timing
+// events (slowdowns, link degradation) land anywhere: they never change
+// outputs, only who the master waits for.
+const (
+	// Steady is the no-event control: the static world every pre-scenario
+	// experiment ran in.
+	Steady = "steady"
+	// Churn has workers crashing and rejoining in staggered windows while a
+	// slowdown wave hits part of the core — the regime dynamic re-coding
+	// exists for (paper Fig. 5 generalised to continuous churn).
+	Churn = "churn"
+	// Degrade ramps link degradation over half the fleet and loses a
+	// redundancy worker's messages for a stretch.
+	Degrade = "degrade"
+	// AdversarialWave flips redundancy workers Byzantine one after another,
+	// a moving target for per-worker verification and quarantine.
+	AdversarialWave = "adversarial-wave"
+	// FlashCrowd models heterogeneous node classes plus a load spike that
+	// slows the whole fleet for a few iterations.
+	FlashCrowd = "flash-crowd"
+)
+
+// ChurnSlowdownFactor is the compute multiplier of the churn preset's
+// slowdown wave — larger than the straggler-detection threshold by enough
+// margin that link time and jitter cannot mask it.
+const ChurnSlowdownFactor = 12
+
+// Profiles returns the preset names in canonical order.
+func Profiles() []string {
+	return []string{Steady, Churn, Degrade, AdversarialWave, FlashCrowd}
+}
+
+// Profile builds the named preset for an n-worker deployment with a k-worker
+// fault-free core. The timeline is a deterministic function of (name, n, k,
+// seed): the seed drives which workers are hit and when windows open, so two
+// runs with one seed are byte-identical and different seeds explore
+// different corners of the same regime.
+func Profile(name string, n, k int, seed int64) (*Scenario, error) {
+	if n < 1 || k < 1 || k > n {
+		return nil, fmt.Errorf("scenario: profile %q wants 1 <= k <= n, got (n, k) = (%d, %d)", name, n, k)
+	}
+	s := &Scenario{Name: name, N: n, Seed: seed}
+	r := rand.New(rand.NewSource(seed))
+	switch name {
+	case Steady:
+		// No events: the control arm every other profile is compared to.
+	case Churn:
+		// Staggered crash/rejoin windows sweep the redundancy workers while
+		// a slowdown wave holds >= churnSlowCount(k) core workers at
+		// ChurnSlowdownFactor x. The wave overlaps the first crash window,
+		// so the peak disturbance is slowCount+1 workers at once — sized to
+		// push AVCC's slack A_t negative at the (12, 9) topology and force
+		// a re-code.
+		base := 2 + r.Intn(2)
+		for i, w := 0, k; w < n; i, w = i+1, w+1 {
+			s.Events = append(s.Events, Event{Kind: Crash, Worker: w, From: base + 2*i, To: base + 2*i + 2})
+		}
+		for _, w := range pick(r, k, churnSlowCount(k)) {
+			s.Events = append(s.Events, Event{Kind: Slowdown, Worker: w, From: base + 1, To: base + 5, Factor: ChurnSlowdownFactor})
+		}
+	case Degrade:
+		// Two-stage congestion ramp on a random half of the fleet, plus a
+		// lost-message stretch on the first redundancy worker.
+		for _, w := range pick(r, n, (n+1)/2) {
+			s.Events = append(s.Events,
+				Event{Kind: LinkDegrade, Worker: w, From: 2, To: 6, Factor: 3},
+				Event{Kind: LinkDegrade, Worker: w, From: 6, To: 10, Factor: 6})
+		}
+		if k < n {
+			from := 3 + r.Intn(2)
+			s.Events = append(s.Events, Event{Kind: Drop, Worker: k, From: from, To: from + 2})
+		}
+	case AdversarialWave:
+		// One redundancy worker at a time turns Byzantine for a three-
+		// iteration window, then the wave moves on — at most one concurrent
+		// corruption, inside every scheme's M = 1 budget.
+		start := 1 + r.Intn(2)
+		for i := 0; i < minInt(2, n-k); i++ {
+			s.Events = append(s.Events, Event{Kind: Byzantine, Worker: k + i, From: start + 3*i, To: start + 3*i + 3})
+		}
+	case FlashCrowd:
+		// A permanently slower node class (a third of the fleet at 2x) plus
+		// a uniform 3x load spike: heterogeneity without relative
+		// stragglers beyond the class gap.
+		for _, w := range pick(r, n, n/3) {
+			s.Events = append(s.Events, Event{Kind: Slowdown, Worker: w, From: 0, To: 0, Factor: 2})
+		}
+		to := 6 + r.Intn(2)
+		for w := 0; w < n; w++ {
+			s.Events = append(s.Events, Event{Kind: Slowdown, Worker: w, From: 4, To: to, Factor: 3})
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown profile %q (presets: %v)", name, Profiles())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: profile %q generated an invalid timeline: %w", name, err)
+	}
+	return s, nil
+}
+
+// churnSlowCount is how many core workers the churn preset's slowdown wave
+// hits: 3 where the core allows it, fewer on tiny deployments.
+func churnSlowCount(k int) int { return minInt(3, k) }
+
+// pick draws count distinct workers from [0, n), sorted.
+func pick(r *rand.Rand, n, count int) []int {
+	if count > n {
+		count = n
+	}
+	ws := append([]int(nil), r.Perm(n)[:count]...)
+	sort.Ints(ws)
+	return ws
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/field"
+)
+
+var f = field.Default()
+
+func mustEngine(t *testing.T, s *Scenario) *Engine {
+	t.Helper()
+	e, err := NewEngine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEventWindows(t *testing.T) {
+	e := mustEngine(t, &Scenario{
+		Name: "windows", N: 4,
+		Events: []Event{
+			{Kind: Crash, Worker: 0, From: 2, To: 4},
+			{Kind: Drop, Worker: 1, From: 3, To: 4},
+			{Kind: Slowdown, Worker: 2, From: 1, To: 0, Factor: 2}, // permanent class
+			{Kind: Slowdown, Worker: 2, From: 3, To: 5, Factor: 3}, // burst on top
+			{Kind: LinkDegrade, Worker: 3, From: 0, To: 2, Factor: 4},
+			{Kind: Byzantine, Worker: 3, From: 2, To: 3},
+		},
+	})
+	if e.Crashed(0, 1) || !e.Crashed(0, 2) || !e.Crashed(0, 3) || e.Crashed(0, 4) {
+		t.Error("crash window [2,4) wrong")
+	}
+	if e.Dropped(1, 2) || !e.Dropped(1, 3) || e.Dropped(1, 4) {
+		t.Error("drop window [3,4) wrong")
+	}
+	if got := e.ComputeFactor(2, 0); got != 1 {
+		t.Errorf("worker 2 at t=0: factor %g, want 1", got)
+	}
+	if got := e.ComputeFactor(2, 1); got != 2 {
+		t.Errorf("worker 2 at t=1: factor %g, want 2", got)
+	}
+	if got := e.ComputeFactor(2, 3); got != 6 {
+		t.Errorf("concurrent slowdowns must multiply: got %g, want 6", got)
+	}
+	if got := e.ComputeFactor(2, 100); got != 2 {
+		t.Errorf("open-ended class must persist: got %g, want 2", got)
+	}
+	if got := e.LinkFactor(3, 1); got != 4 {
+		t.Errorf("link factor %g, want 4", got)
+	}
+	if e.IsByzantine(3, 1) || !e.IsByzantine(3, 2) || e.IsByzantine(3, 3) {
+		t.Error("byzantine window [2,3) wrong")
+	}
+	// Workers and IDs outside the scenario are nominal.
+	if e.Crashed(99, 2) || e.ComputeFactor(-1, 0) != 1 {
+		t.Error("out-of-range workers must be nominal")
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []*Scenario{
+		{Name: "n", N: 0},
+		{Name: "worker", N: 2, Events: []Event{{Kind: Crash, Worker: 2, From: 0, To: 1}}},
+		{Name: "window", N: 2, Events: []Event{{Kind: Crash, Worker: 0, From: 3, To: 3}}},
+		{Name: "factor", N: 2, Events: []Event{{Kind: Slowdown, Worker: 0, From: 0, To: 1, Factor: 0.5}}},
+		{Name: "kind", N: 2, Events: []Event{{Kind: "meteor", Worker: 0, From: 0, To: 1}}},
+	}
+	for _, s := range bad {
+		if _, err := NewEngine(s); err == nil {
+			t.Errorf("scenario %q should have been rejected", s.Name)
+		}
+	}
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("nil scenario accepted")
+	}
+}
+
+func TestWrapBehaviorFlips(t *testing.T) {
+	e := mustEngine(t, &Scenario{
+		Name: "flip", N: 2,
+		Events:     []Event{{Kind: Byzantine, Worker: 1, From: 2, To: 4}},
+		Corruption: attack.Constant{V: 7},
+	})
+	honest := []field.Elem{1, 2, 3}
+	b := e.WrapBehavior(1, attack.Honest{})
+	if got := b.Apply(f, 1, honest); !field.EqualVec(got, honest) {
+		t.Error("worker must be honest before the flip")
+	}
+	if got := b.Apply(f, 2, honest); field.EqualVec(got, honest) {
+		t.Error("worker must corrupt during the flip")
+	} else if got[0] != 7 {
+		t.Errorf("corruption must use the scenario's Corruption behaviour, got %v", got)
+	}
+	if got := b.Apply(f, 4, honest); !field.EqualVec(got, honest) {
+		t.Error("worker must recover after the flip")
+	}
+	// The wrapper preserves the inner behaviour outside flip windows.
+	inner := e.WrapBehavior(1, attack.Constant{V: 9})
+	if got := inner.Apply(f, 0, honest); got[0] != 9 {
+		t.Error("inner behaviour must run outside flip windows")
+	}
+	if !strings.Contains(inner.Name(), "scenario(") {
+		t.Errorf("wrapper name %q should mark the scenario layer", inner.Name())
+	}
+}
+
+func TestDefaultCorruptionIsReverseValue(t *testing.T) {
+	e := mustEngine(t, &Scenario{
+		Name: "default-corrupt", N: 1,
+		Events: []Event{{Kind: Byzantine, Worker: 0, From: 0, To: 1}},
+	})
+	honest := []field.Elem{5}
+	got := e.WrapBehavior(0, nil).Apply(f, 0, honest)
+	if want := f.Neg(5); got[0] != want {
+		t.Errorf("default corruption: got %v, want reverse-value %v", got[0], want)
+	}
+}
+
+func TestMaxDisturbed(t *testing.T) {
+	e := mustEngine(t, &Scenario{
+		Name: "peak", N: 5,
+		Events: []Event{
+			{Kind: Crash, Worker: 4, From: 3, To: 5},
+			{Kind: Slowdown, Worker: 0, From: 3, To: 6, Factor: 10},
+			{Kind: Slowdown, Worker: 1, From: 4, To: 6, Factor: 10},
+			{Kind: Slowdown, Worker: 2, From: 0, To: 10, Factor: 1.5}, // below threshold
+		},
+	})
+	if got := e.MaxDisturbed(10, 2); got != 3 {
+		t.Errorf("MaxDisturbed = %d, want 3 (crash + two >=2x slowdowns at t=4)", got)
+	}
+}
+
+func TestProfilesAreValidAcrossTopologies(t *testing.T) {
+	for _, name := range Profiles() {
+		for _, top := range []struct{ n, k int }{{12, 9}, {10, 4}, {9, 9}, {4, 2}} {
+			s, err := Profile(name, top.n, top.k, 7)
+			if err != nil {
+				t.Fatalf("%s at (%d,%d): %v", name, top.n, top.k, err)
+			}
+			e := mustEngine(t, s)
+			// Integrity events must never target the fault-free core [0, k).
+			for iter := 0; iter < 20; iter++ {
+				for w := 0; w < top.k; w++ {
+					if e.Crashed(w, iter) || e.Dropped(w, iter) || e.IsByzantine(w, iter) {
+						t.Fatalf("%s at (%d,%d): integrity fault on core worker %d at t=%d",
+							name, top.n, top.k, w, iter)
+					}
+				}
+			}
+		}
+	}
+	if _, err := Profile("warp-storm", 12, 9, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := Profile(Churn, 9, 12, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestSteadyIsEventFree(t *testing.T) {
+	s, err := Profile(Steady, 12, 9, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 0 {
+		t.Fatalf("steady has %d events, want 0", len(s.Events))
+	}
+}
+
+func TestChurnPeakDisturbanceExceedsSlack(t *testing.T) {
+	// The churn preset exists to push AVCC's adaptation slack negative at
+	// the paper's (12, 9) topology: peak disturbance must exceed
+	// N - threshold = 12 - 9 = 3 workers.
+	s, err := Profile(Churn, 12, 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, s)
+	if got := e.MaxDisturbed(20, ChurnSlowdownFactor); got < 4 {
+		t.Fatalf("churn peak disturbance %d, want >= 4 to cross the (12,9) slack", got)
+	}
+}

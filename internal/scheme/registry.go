@@ -8,9 +8,11 @@ import (
 	"repro/internal/attack"
 	"repro/internal/avcc"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/gavcc"
+	"repro/internal/scenario"
 )
 
 // Constructor builds a backend's master. data maps round keys to the full
@@ -85,13 +87,46 @@ func WorkerCount(name string, cfg Config) (int, error) {
 
 // New constructs the named scheme's master. It is the single construction
 // path for every backend; callers never touch the per-package constructors.
+// When cfg.Scenario is set, the scenario is attached after construction —
+// uniformly, so a backend registered tomorrow is scenario-capable today.
 func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
 	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
 	e, err := lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return e.build(f, cfg, data, behaviors, stragglers)
+	m, err := e.build(f, cfg, data, behaviors, stragglers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scenario != nil {
+		if err := attachScenario(m, f, cfg, stragglers); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// attachScenario compiles cfg.Scenario and threads it through a freshly
+// built master: every worker's behaviour is wrapped so scenario Byzantine
+// flips corrupt its output, and the executor is replaced with a virtual
+// executor carrying the engine as its Dynamics. The replacement executor is
+// built exactly as every backend builds its own (same workers, same
+// straggler schedule, seed+1 jitter stream), so a scenario-free run and a
+// Steady-scenario run produce identical timings.
+func attachScenario(m Master, f *field.Field, cfg Config, stragglers attack.StragglerSchedule) error {
+	eng, err := scenario.NewEngine(cfg.Scenario)
+	if err != nil {
+		return fmt.Errorf("scheme: %w", err)
+	}
+	workers := m.Workers()
+	for _, w := range workers {
+		w.Behavior = eng.WrapBehavior(w.ID, w.Behavior)
+	}
+	exec := cluster.NewVirtualExecutor(f, cfg.Sim, workers, stragglers, cfg.Seed+1)
+	exec.Dynamics = eng
+	m.SetExecutor(exec)
+	return nil
 }
 
 func init() {

@@ -25,6 +25,7 @@ package scheme
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 )
 
@@ -87,6 +88,11 @@ type Config struct {
 	// PregeneratedCodings models offline-generated alternative codings: a
 	// re-code charges only shard redistribution, not re-encoding.
 	PregeneratedCodings bool
+	// Scenario overlays a time-varying fault timeline (internal/scenario)
+	// on the deployment: per-worker rate curves, crashes, message drops,
+	// link degradation, and scenario-driven Byzantine flips. nil means the
+	// static world.
+	Scenario *scenario.Scenario
 }
 
 // Option mutates a Config under construction.
@@ -153,4 +159,18 @@ func WithVerifyTrials(trials int) Option {
 // which a re-code charges only redistribution.
 func WithPregeneratedCodings(pregenerated bool) Option {
 	return func(c *Config) { c.PregeneratedCodings = pregenerated }
+}
+
+// WithScenario overlays a fault-injection scenario on the deployment. New
+// wires the scenario's engine into the executor (time-varying rates, link
+// degradation, crashes, drops) and layers its Byzantine flips over each
+// worker's configured behaviour, for every backend uniformly:
+//
+//	scn, _ := scenario.Profile(scenario.Churn, 12, 9, seed)
+//	master, _ := scheme.New("avcc", f, scheme.NewConfig(
+//		scheme.WithCoding(12, 9),
+//		scheme.WithScenario(scn),
+//	), data, nil, nil)
+func WithScenario(s *scenario.Scenario) Option {
+	return func(c *Config) { c.Scenario = s }
 }

@@ -1,0 +1,42 @@
+package simnet
+
+// Dynamics is the time-varying environment interface executors consult each
+// round. The static latency model in Config describes a world that never
+// changes; Dynamics overlays the changes — per-worker rate curves, link
+// degradation, node churn, and message loss — as functions of (worker,
+// iteration), so the same deterministic event-queue machinery exercises the
+// adaptive protocol paths against drifting conditions.
+//
+// internal/scenario compiles declarative fault timelines into this
+// interface; executors treat a nil Dynamics as Static.
+type Dynamics interface {
+	// ComputeFactor multiplies the worker's compute time at the given
+	// iteration (1 = nominal speed, 10 = an order-of-magnitude straggler).
+	ComputeFactor(worker, iter int) float64
+	// LinkFactor multiplies the worker's link time at the given iteration
+	// (1 = nominal, 4 = a congested or degraded link).
+	LinkFactor(worker, iter int) float64
+	// Crashed reports that the worker is down for the whole iteration: it
+	// computes nothing and no result ever arrives (an erasure).
+	Crashed(worker, iter int) bool
+	// Dropped reports that the worker's result message is lost in transit
+	// at the given iteration: the work is done but the master never sees
+	// it (an erasure that still burned worker time).
+	Dropped(worker, iter int) bool
+}
+
+// Static is the identity Dynamics: the steady world every pre-scenario
+// experiment ran in.
+type Static struct{}
+
+// ComputeFactor implements Dynamics.
+func (Static) ComputeFactor(int, int) float64 { return 1 }
+
+// LinkFactor implements Dynamics.
+func (Static) LinkFactor(int, int) float64 { return 1 }
+
+// Crashed implements Dynamics.
+func (Static) Crashed(int, int) bool { return false }
+
+// Dropped implements Dynamics.
+func (Static) Dropped(int, int) bool { return false }
