@@ -1,0 +1,190 @@
+package scheme
+
+// The cross-backend scenario conformance suite: every registered scheme runs
+// through every scenario preset, deterministically from one seed, and must
+// keep decoding bit-exact against an independently computed reference. This
+// is the contract the registry sells — backends are swappable — extended to
+// the time-varying world: crashes, drops, slowdown waves, link degradation,
+// and Byzantine flips may change *who the master waits for* and *what the
+// code does about it*, but never the decoded output. The churn preset must
+// additionally push AVCC's adaptation slack negative and provably trigger a
+// re-code, observed through the Adaptive interface.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/gavcc"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+)
+
+const conformanceSeed = 7
+
+// conformanceSim is a compute-dominated latency model: shard compute time
+// must dwarf link time so the churn preset's slowdown wave is unambiguous
+// to AVCC's relative-arrival straggler detector.
+func conformanceSim() simnet.Config {
+	sim := simnet.DefaultConfig()
+	sim.LinkLatency = 1e-5
+	return sim
+}
+
+// conformanceCase describes one scheme's deployment in the shared
+// environment: its topology and how to compute the reference output the
+// decode must match bit-exactly.
+type conformanceCase struct {
+	scheme string
+	n, k   int
+	key    string
+	// data builds the scheme's input matrices from x.
+	data func(x *fieldmat.Matrix) map[string]*fieldmat.Matrix
+	// input produces the round's broadcast input (nil for gram rounds).
+	input func(f *field.Field, rng *rand.Rand, x *fieldmat.Matrix) []field.Elem
+	// want is the ground-truth output for the round's input.
+	want func(f *field.Field, x *fieldmat.Matrix, in []field.Elem, k int) []field.Elem
+}
+
+func matvecCase(name string) conformanceCase {
+	return conformanceCase{
+		scheme: name, n: 12, k: 9, key: "fwd",
+		data: func(x *fieldmat.Matrix) map[string]*fieldmat.Matrix {
+			return map[string]*fieldmat.Matrix{"fwd": x}
+		},
+		input: func(f *field.Field, rng *rand.Rand, x *fieldmat.Matrix) []field.Elem {
+			return f.RandVec(rng, x.Cols)
+		},
+		want: func(f *field.Field, x *fieldmat.Matrix, in []field.Elem, _ int) []field.Elem {
+			return fieldmat.MatVec(f, x, in)
+		},
+	}
+}
+
+func gramWant(f *field.Field, x *fieldmat.Matrix, _ []field.Elem, k int) []field.Elem {
+	blocks := fieldmat.SplitRows(fieldmat.PadRows(x, k), k)
+	var out []field.Elem
+	for _, b := range blocks {
+		out = append(out, fieldmat.MatMul(f, b, b.Transpose()).Data...)
+	}
+	return out
+}
+
+func conformanceCases() []conformanceCase {
+	gram := conformanceCase{
+		// The degree-2 Gram backend needs its own feasible topology:
+		// N >= 2(K+T-1) + S + M + 1 pins (10, 4) with S = M = 1.
+		scheme: "gavcc", n: 10, k: 4, key: gavcc.GramKey,
+		data: func(x *fieldmat.Matrix) map[string]*fieldmat.Matrix {
+			return map[string]*fieldmat.Matrix{gavcc.GramKey: x}
+		},
+		input: func(*field.Field, *rand.Rand, *fieldmat.Matrix) []field.Elem { return nil },
+		want:  gramWant,
+	}
+	return []conformanceCase{
+		matvecCase("avcc"), matvecCase("static-vcc"), matvecCase("lcc"), matvecCase("uncoded"), gram,
+	}
+}
+
+// runConformance drives one (scheme, profile) cell for rounds iterations,
+// asserting bit-exact decodes, and returns whether any re-code happened.
+func runConformance(t *testing.T, tc conformanceCase, profile string, rounds int) (recoded bool, m Master) {
+	t.Helper()
+	f := field.Default()
+	rng := rand.New(rand.NewSource(conformanceSeed))
+	var x *fieldmat.Matrix
+	if tc.key == gavcc.GramKey {
+		x = fieldmat.Rand(f, rng, 64, 48)
+	} else {
+		// Sized so shard compute (80x120 mul-adds) dominates link time.
+		x = fieldmat.Rand(f, rng, 720, 120)
+	}
+	scn, err := scenario.Profile(profile, tc.n, tc.k, conformanceSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = New(tc.scheme, f, NewConfig(
+		WithCoding(tc.n, tc.k),
+		WithBudgets(1, 1, 0),
+		WithSim(conformanceSim()),
+		WithSeed(conformanceSeed),
+		WithScenario(scn),
+	), tc.data(x), nil, nil)
+	if err != nil {
+		t.Fatalf("%s under %s: %v", tc.scheme, profile, err)
+	}
+	for iter := 0; iter < rounds; iter++ {
+		in := tc.input(f, rng, x)
+		out, err := m.RunRound(tc.key, in, iter)
+		if err != nil {
+			t.Fatalf("%s under %s, iter %d: %v", tc.scheme, profile, iter, err)
+		}
+		if want := tc.want(f, x, in, tc.k); !field.EqualVec(out.Decoded, want) {
+			t.Fatalf("%s under %s, iter %d: decode not bit-exact against the uncoded reference",
+				tc.scheme, profile, iter)
+		}
+		if _, r := m.FinishIteration(iter); r {
+			recoded = true
+		}
+	}
+	return recoded, m
+}
+
+func TestScenarioConformanceAllSchemesAllProfiles(t *testing.T) {
+	const rounds = 10
+	for _, tc := range conformanceCases() {
+		for _, profile := range scenario.Profiles() {
+			tc, profile := tc, profile
+			t.Run(tc.scheme+"/"+profile, func(t *testing.T) {
+				recoded, m := runConformance(t, tc, profile, rounds)
+
+				switch profile {
+				case scenario.Steady:
+					if recoded {
+						t.Errorf("%s re-coded in the steady world", tc.scheme)
+					}
+				case scenario.Churn:
+					if tc.scheme == "avcc" {
+						if !recoded {
+							t.Error("avcc must re-code when churn crosses the adaptation budget")
+						}
+						ad, ok := m.(Adaptive)
+						if !ok {
+							t.Fatal("avcc master does not expose the Adaptive interface")
+						}
+						if n, k := ad.Coding(); k >= 9 || n != 12 {
+							t.Errorf("avcc after churn: coding (%d, %d), want K < 9 with all 12 workers active", n, k)
+						}
+					} else if recoded {
+						t.Errorf("%s is static but reported a re-code", tc.scheme)
+					}
+				case scenario.AdversarialWave:
+					if tc.scheme == "avcc" {
+						ad := m.(Adaptive)
+						if active := ad.ActiveWorkers(); len(active) >= 12 {
+							t.Errorf("avcc after the Byzantine wave: %d active workers, want quarantines", len(active))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioConformanceIsDeterministic pins the whole suite to its seed:
+// the same (scheme, profile, seed) cell re-run must make the identical
+// adaptation decisions.
+func TestScenarioConformanceIsDeterministic(t *testing.T) {
+	tc := matvecCase("avcc")
+	r1, m1 := runConformance(t, tc, scenario.Churn, 8)
+	r2, m2 := runConformance(t, tc, scenario.Churn, 8)
+	if r1 != r2 {
+		t.Fatal("re-running the churn cell changed the re-code decision")
+	}
+	n1, k1 := m1.(Adaptive).Coding()
+	n2, k2 := m2.(Adaptive).Coding()
+	if n1 != n2 || k1 != k2 {
+		t.Fatalf("re-running the churn cell changed the final coding: (%d,%d) vs (%d,%d)", n1, k1, n2, k2)
+	}
+}
