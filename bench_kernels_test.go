@@ -1,0 +1,301 @@
+package repro_test
+
+// Arithmetic-core microbenchmarks at paper-scale GISETTE dimensions
+// (m = 6000 → 6003 padded, d = 5000, (N,K) = (12,9), shard rows 667).
+// Every kernel is measured twice in the same run: the production
+// Barrett/lazy-reduction implementation ("lazy") and a reference mirroring
+// the seed implementation with its per-element hardware divisions ("ref").
+// When the full matrix runs (as `go test -bench BenchmarkKernels` does), the
+// results — ns/op, allocs/op, and lazy-over-ref speedup — are written to
+// BENCH_kernels.json, the committed perf-trajectory artifact for the
+// arithmetic core.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/mds"
+	"repro/internal/verify"
+)
+
+// --- references: the seed's arithmetic, kept verbatim for comparison ---
+
+// dotSeedRef is the seed field.Dot: one `%` per element for the product,
+// accumulated reduced.
+func dotSeedRef(q uint64, a, b []field.Elem) field.Elem {
+	var acc uint64
+	for i := range a {
+		acc += a[i] * b[i] % q
+	}
+	return acc % q
+}
+
+// axpySeedRef is the seed field.AXPY: two `%` per element.
+func axpySeedRef(q uint64, dst []field.Elem, c field.Elem, a []field.Elem) {
+	for i := range a {
+		dst[i] = (dst[i] + c*a[i]%q) % q
+	}
+}
+
+// matVecSeedRef is the seed serial MatVec.
+func matVecSeedRef(q uint64, m *fieldmat.Matrix, x, y []field.Elem) {
+	for i := 0; i < m.Rows; i++ {
+		y[i] = dotSeedRef(q, m.Row(i), x)
+	}
+}
+
+// matMulSeedRef is the seed MatMul loop body (i-k-j AXPY order), serial.
+func matMulSeedRef(q uint64, a, b, c *fieldmat.Matrix) {
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpySeedRef(q, crow, av, b.Row(k))
+		}
+	}
+}
+
+// invSeedRef is Fermat inversion with `%` multiplication.
+func invSeedRef(q, a uint64) uint64 {
+	result, e := uint64(1), q-2
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = result * a % q
+		}
+		a = a * a % q
+	}
+	return result
+}
+
+// mdsDecodeSeedRef is the seed MDS decode: select the K×K generator
+// submatrix and Gauss–Jordan the augmented system with seed arithmetic.
+func mdsDecodeSeedRef(q uint64, gen *fieldmat.Matrix, workers []int, results [][]field.Elem) []field.Elem {
+	k := len(workers)
+	dim := len(results[0])
+	aug := fieldmat.NewMatrix(k, k+dim)
+	for r, w := range workers {
+		for j := 0; j < k; j++ {
+			aug.Set(r, j, gen.At(j, w))
+		}
+		copy(aug.Row(r)[k:], results[r])
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if aug.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			panic("bench: reference decode singular")
+		}
+		if pivot != col {
+			pr, cr := aug.Row(pivot), aug.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+		}
+		inv := invSeedRef(q, aug.At(col, col))
+		prow := aug.Row(col)
+		for j := col; j < k+dim; j++ {
+			prow[j] = prow[j] * inv % q
+		}
+		for r := 0; r < k; r++ {
+			if r == col || aug.At(r, col) == 0 {
+				continue
+			}
+			factor := q - aug.At(r, col)
+			row := aug.Row(r)
+			for j := col; j < k+dim; j++ {
+				row[j] = (row[j] + factor*prow[j]%q) % q
+			}
+		}
+	}
+	out := make([]field.Elem, 0, k*dim)
+	for j := 0; j < k; j++ {
+		out = append(out, aug.Row(j)[k:]...)
+	}
+	return out
+}
+
+// --- harness ---
+
+type kernelBenchRecord struct {
+	Kernel  string `json:"kernel"`
+	Variant string `json:"variant"` // "lazy" (production) or "ref" (seed)
+	Dims    string `json:"dims"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// AllocsPerOp is measured with testing.AllocsPerRun in steady state
+	// (pools warm); the MatMul/MatVec contract is exactly 0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SpeedupVsRef = ref ns/op ÷ lazy ns/op, set on "lazy" rows when both
+	// variants ran.
+	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
+}
+
+// kernelCell runs fn as a sub-benchmark and records ns/op, allocs/op, and
+// the iteration count (the artifact-write guard below).
+func kernelCell(b *testing.B, records map[string]*kernelBenchRecord, iters map[string]int, kernel, variant, dims string, fn func()) {
+	b.Helper()
+	b.Run(kernel+"/"+variant, func(b *testing.B) {
+		fn() // warm pools and caches outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+		b.StopTimer()
+		iters[kernel+"/"+variant] = b.N
+		records[kernel+"/"+variant] = &kernelBenchRecord{
+			Kernel:  kernel,
+			Variant: variant,
+			Dims:    dims,
+			NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
+			// AllocsPerRun briefly pins GOMAXPROCS to 1; the pools are
+			// already started at full width by the warm call above.
+			AllocsPerOp: testing.AllocsPerRun(3, fn),
+		}
+	})
+}
+
+// BenchmarkKernels is the arithmetic-core suite. Run the whole matrix
+// (no sub-bench filter) to refresh BENCH_kernels.json.
+func BenchmarkKernels(b *testing.B) {
+	f := field.Default()
+	q := f.Q()
+	rng := rand.New(rand.NewSource(99))
+	records := make(map[string]*kernelBenchRecord)
+	iters := make(map[string]int)
+
+	const (
+		d         = 5000 // GISETTE features
+		shardRows = 667  // 6003 padded rows / K=9
+		mulCols   = 64   // weight-batch width for the MatMul cell
+	)
+
+	// Dot: the Freivalds/round inner product at d = 5000.
+	a := f.RandVec(rng, d)
+	x := f.RandVec(rng, d)
+	var dotSink field.Elem
+	kernelCell(b, records, iters, "Dot", "lazy", "d=5000", func() { dotSink = f.Dot(a, x) })
+	kernelCell(b, records, iters, "Dot", "ref", "d=5000", func() { dotSink = dotSeedRef(q, a, x) })
+
+	// AXPY: the encoder's shard-combination step at d = 5000.
+	dst := f.RandVec(rng, d)
+	cf := f.RandNonZero(rng)
+	kernelCell(b, records, iters, "AXPY", "lazy", "d=5000", func() { f.AXPY(dst, cf, a) })
+	kernelCell(b, records, iters, "AXPY", "ref", "d=5000", func() { axpySeedRef(q, dst, cf, a) })
+
+	// MatVec: one worker's round-1 product X̃_i·w on a 667×5000 shard.
+	shard := fieldmat.Rand(f, rng, shardRows, d)
+	y := make([]field.Elem, shardRows)
+	kernelCell(b, records, iters, "MatVec", "lazy", "shard 667x5000", func() { fieldmat.MatVecInto(f, y, shard, x) })
+	kernelCell(b, records, iters, "MatVec", "ref", "shard 667x5000", func() { matVecSeedRef(q, shard, x, y) })
+
+	// MatMul: a shard times a 64-wide weight batch.
+	bm := fieldmat.Rand(f, rng, d, mulCols)
+	cm := fieldmat.NewMatrix(shardRows, mulCols)
+	kernelCell(b, records, iters, "MatMul", "lazy", "667x5000 x 5000x64", func() { fieldmat.MatMulInto(f, cm, shard, bm) })
+	kernelCell(b, records, iters, "MatMul", "ref", "667x5000 x 5000x64", func() { matMulSeedRef(q, shard, bm, cm) })
+
+	// MDS encode/decode at the paper's (12,9); decode vectors are the
+	// round-1 result shape (667 per block).
+	code, err := mds.New(f, 12, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encData := fieldmat.Rand(f, rng, 6003, 1000)
+	kernelCell(b, records, iters, "MDSEncode", "lazy", "(12,9) 6003x1000", func() {
+		if _, err := code.EncodeMatrix(encData); err != nil {
+			b.Fatal(err)
+		}
+	})
+	gen := code.Generator()
+	blocks := fieldmat.SplitRows(encData, 9)
+	kernelCell(b, records, iters, "MDSEncode", "ref", "(12,9) 6003x1000", func() {
+		for i := 0; i < 12; i++ {
+			sh := fieldmat.NewMatrix(667, 1000)
+			for j := 0; j < 9; j++ {
+				if coef := gen.At(j, i); coef != 0 {
+					axpySeedRef(q, sh.Data, coef, blocks[j].Data)
+				}
+			}
+		}
+	})
+
+	w := f.RandVec(rng, d)
+	shards, err := code.EncodeMatrix(fieldmat.Rand(f, rng, 6003, d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := []int{0, 2, 3, 5, 6, 7, 9, 10, 11} // a non-systematic survivor set
+	results := make([][]field.Elem, len(workers))
+	for r, id := range workers {
+		results[r] = fieldmat.MatVec(f, shards[id], w)
+	}
+	kernelCell(b, records, iters, "MDSDecode", "lazy", "(12,9) dim=667", func() {
+		if _, err := code.DecodeConcat(workers, results); err != nil {
+			b.Fatal(err)
+		}
+	})
+	kernelCell(b, records, iters, "MDSDecode", "ref", "(12,9) dim=667", func() {
+		_ = mdsDecodeSeedRef(q, gen, workers, results)
+	})
+
+	// Freivalds: one verification of a 667×5000 shard claim (a length-5000
+	// and a length-667 inner product).
+	key := verify.NewKey(f, rng, shard)
+	claim := fieldmat.MatVec(f, shard, x)
+	kernelCell(b, records, iters, "Freivalds", "lazy", "shard 667x5000", func() {
+		if !key.Check(x, claim) {
+			b.Fatal("honest claim rejected")
+		}
+	})
+	r2 := f.RandVec(rng, shardRows)
+	s2 := fieldmat.VecMat(f, r2, shard)
+	kernelCell(b, records, iters, "Freivalds", "ref", "shard 667x5000", func() {
+		if dotSeedRef(q, s2, x) != dotSeedRef(q, r2, claim) {
+			b.Fatal("honest claim rejected by reference check")
+		}
+	})
+	_ = dotSink
+
+	// Only a full matrix may replace the committed artifact (a filtered
+	// -bench run must not clobber the trajectory record), speedups are only
+	// meaningful when both variants ran in this process, and single-iteration
+	// cells (the CI `-benchtime 1x` smoke) are too noisy to record — refresh
+	// with `-benchtime 2s` as documented in DESIGN.md §7.
+	kernels := []string{"Dot", "AXPY", "MatVec", "MatMul", "MDSEncode", "MDSDecode", "Freivalds"}
+	out := make([]kernelBenchRecord, 0, 2*len(kernels))
+	for _, k := range kernels {
+		lazy, ref := records[k+"/lazy"], records[k+"/ref"]
+		if lazy == nil || ref == nil {
+			b.Logf("skipping BENCH_kernels.json: %s incomplete", k)
+			return
+		}
+		if iters[k+"/lazy"] < 2 || iters[k+"/ref"] < 2 {
+			b.Logf("skipping BENCH_kernels.json: %s ran a single iteration (smoke run)", k)
+			return
+		}
+		if lazy.NsPerOp > 0 {
+			lazy.SpeedupVsRef = float64(ref.NsPerOp) / float64(lazy.NsPerOp)
+		}
+		out = append(out, *lazy, *ref)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kernels.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

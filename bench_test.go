@@ -407,6 +407,11 @@ func BenchmarkScenarioProfiles(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					virtualSec, recodes, roundsWall = runScenarioBench(b, profile, name, rounds)
 				}
+				if b.N < 2 {
+					// Single-iteration smoke runs (CI `-benchtime 1x`) are
+					// too noisy to replace the committed artifact.
+					return
+				}
 				rec = scenarioBenchRecord{
 					Profile:          profile,
 					Scheme:           name,

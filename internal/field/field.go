@@ -36,7 +36,25 @@ type Field struct {
 	// halfQ caches (q-1)/2, the threshold separating non-negative from
 	// negative values in the two's-complement-style signed embedding.
 	halfQ uint64
+	// mu is the Barrett constant ⌊2^64/q⌋: for any x < 2^64 the quotient
+	// estimate t = ⌊x·mu/2^64⌋ satisfies ⌊x/q⌋−1 ≤ t ≤ ⌊x/q⌋, so
+	// x − t·q < 2q and one conditional subtraction yields x mod q. This
+	// turns every reduction into a high-multiply plus a compare — no
+	// hardware division on the hot path.
+	mu uint64
+	// lazyBatch is the delayed-reduction bound: the largest d with
+	// d·(q−1)² ≤ 2^63−1, clamped to [1, 2^30]. A uint64 accumulator that
+	// is canonical (< q) can absorb lazyBatch raw products of canonical
+	// operands before a reduction is forced, because
+	// (q−1) + d·(q−1)² ≤ (q−1) + 2^63−1 < 2^64. For the paper's
+	// q = 2^25−39 this is 8192 — one reduction per 8192 multiply-adds,
+	// exactly the headroom the paper chose the field for.
+	lazyBatch int
 }
+
+// lazyBatchCap bounds lazyBatch so chunk arithmetic stays in comfortable int
+// range even for tiny moduli (where the true bound approaches 2^61).
+const lazyBatchCap = 1 << 30
 
 // New returns the field F_q. It returns an error unless q is an odd prime
 // below 2^32 (the bound that keeps a single multiplication inside uint64).
@@ -50,7 +68,17 @@ func New(q uint64) (*Field, error) {
 	if !isPrime(q) {
 		return nil, fmt.Errorf("field: modulus %d is not prime", q)
 	}
-	return &Field{q: q, halfQ: (q - 1) / 2}, nil
+	f := &Field{q: q, halfQ: (q - 1) / 2}
+	f.mu, _ = bits.Div64(1, 0, q) // ⌊2^64/q⌋
+	batch := (uint64(1)<<63 - 1) / ((q - 1) * (q - 1))
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > lazyBatchCap {
+		batch = lazyBatchCap
+	}
+	f.lazyBatch = int(batch)
+	return f, nil
 }
 
 // MustNew is New for known-good constants; it panics on error.
@@ -68,8 +96,25 @@ func Default() *Field { return MustNew(QDefault) }
 // Q returns the modulus.
 func (f *Field) Q() uint64 { return f.q }
 
+// LazyBatch returns the delayed-reduction bound: how many raw products of
+// canonical elements a canonical uint64 accumulator can absorb before a
+// reduction is required (see the lazyBatch field and DESIGN.md §7).
+func (f *Field) LazyBatch() int { return f.lazyBatch }
+
+// barrett reduces an arbitrary uint64 to canonical form via the precomputed
+// Barrett constant: one 64×64→128 multiply, one multiply-subtract, one
+// conditional subtraction. Exact for all x < 2^64 (see mu).
+func (f *Field) barrett(x uint64) Elem {
+	t, _ := bits.Mul64(x, f.mu)
+	r := x - t*f.q
+	if r >= f.q {
+		r -= f.q
+	}
+	return r
+}
+
 // Reduce maps an arbitrary uint64 into canonical form.
-func (f *Field) Reduce(x uint64) Elem { return x % f.q }
+func (f *Field) Reduce(x uint64) Elem { return f.barrett(x) }
 
 // Add returns a + b mod q.
 func (f *Field) Add(a, b Elem) Elem {
@@ -97,13 +142,15 @@ func (f *Field) Neg(a Elem) Elem {
 }
 
 // Mul returns a·b mod q. Both operands are canonical (< q < 2^32) so the
-// product fits in uint64.
-func (f *Field) Mul(a, b Elem) Elem { return a * b % f.q }
+// product fits in uint64; the reduction is a Barrett multiply-shift, not a
+// hardware division.
+func (f *Field) Mul(a, b Elem) Elem { return f.barrett(a * b) }
 
-// MulAdd returns acc + a·b mod q, the fused step of every inner product in
-// the codebase.
+// MulAdd returns acc + a·b mod q for canonical acc, a, b — the fused step of
+// every inner product in the codebase. acc + a·b ≤ (q−1) + (q−1)² < 2^64, so
+// a single Barrett reduction suffices.
 func (f *Field) MulAdd(acc, a, b Elem) Elem {
-	return (acc + a*b%f.q) % f.q
+	return f.barrett(acc + a*b)
 }
 
 // Exp returns a^e mod q by square-and-multiply.

@@ -39,43 +39,54 @@ func (f *Field) ScaleVec(dst []Elem, c Elem, a []Elem) {
 		panic("field: ScaleVec length mismatch")
 	}
 	for i := range a {
-		dst[i] = c * a[i] % f.q
+		dst[i] = f.barrett(c * a[i])
 	}
 }
 
 // AXPY stores dst += c·a, the accumulation step of encoding: every coded
 // shard is a linear (or Lagrange-monomial) combination of data shards.
+// dst[i] + c·a[i] ≤ (q−1) + (q−1)² < 2^64, so each element costs one raw
+// multiply-add and one Barrett reduction — no division. For long chains of
+// AXPYs into the same destination, AXPYLazy amortises even the Barrett step.
 func (f *Field) AXPY(dst []Elem, c Elem, a []Elem) {
 	if len(dst) != len(a) {
 		panic("field: AXPY length mismatch")
 	}
 	for i := range a {
-		dst[i] = (dst[i] + c*a[i]%f.q) % f.q
+		dst[i] = f.barrett(dst[i] + c*a[i])
 	}
 }
 
-// Dot returns the inner product <a, b> over F_q.
-//
-// The accumulator strategy exploits q < 2^32: each product is reduced to
-// < q ≤ 2^32-1 and up to 2^31 such terms can be summed in a uint64 before a
-// reduction is forced, so for all realistic vector lengths the loop performs
-// one modulo per element (for the product) plus one final reduction.
+// Dot returns the inner product <a, b> over F_q by delayed reduction: raw
+// products a[i]·b[i] ≤ (q−1)² accumulate unreduced in a uint64 and a single
+// Barrett reduction fires once per LazyBatch terms. For the paper's
+// q = 2^25−39 that is one reduction per 8192 multiply-adds — the inner loop
+// is a bare IMUL+ADD, which is the whole point of the 25-bit field choice
+// (d·(q−1)² ≤ 2^63−1 for GISETTE's d = 5000).
 func (f *Field) Dot(a, b []Elem) Elem {
+	return f.DotAcc(0, a, b)
+}
+
+// DotAcc returns (acc + <a, b>) mod q for canonical acc: a running inner
+// product, the primitive the column-tiled matrix kernels chain across tiles.
+func (f *Field) DotAcc(acc Elem, a, b []Elem) Elem {
 	if len(a) != len(b) {
 		panic("field: Dot length mismatch")
 	}
-	const batch = 1 << 31 // safe count of < 2^32 terms in a uint64
-	var acc uint64
-	n := 0
-	for i := range a {
-		acc += a[i] * b[i] % f.q
-		n++
-		if n == batch {
-			acc %= f.q
-			n = 0
+	s := uint64(acc)
+	for len(a) > 0 {
+		n := len(a)
+		if n > f.lazyBatch {
+			n = f.lazyBatch
 		}
+		ah, bh := a[:n], b[:n:n]
+		for i, ai := range ah {
+			s += ai * bh[i]
+		}
+		s = f.barrett(s)
+		a, b = a[n:], b[n:]
 	}
-	return acc % f.q
+	return s // canonical: acc was canonical and every chunk ends reduced
 }
 
 // EqualVec reports whether two vectors are element-wise identical (both are

@@ -12,8 +12,6 @@ package fieldmat
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/field"
 )
@@ -162,70 +160,118 @@ func Rand(f *field.Field, rng *rand.Rand, rows, cols int) *Matrix {
 	return m
 }
 
-// MatVec computes y = m·x over F_q, parallelised across row blocks when the
-// matrix is large enough to amortise goroutine startup.
+// MatVec computes y = m·x over F_q, parallelised across row blocks on the
+// package worker pool when the matrix touches at least ParallelThreshold
+// elements.
 func MatVec(f *field.Field, m *Matrix, x []field.Elem) []field.Elem {
-	if len(x) != m.Cols {
-		panic("fieldmat: MatVec dimension mismatch")
-	}
 	y := make([]field.Elem, m.Rows)
-	const parallelThreshold = 1 << 16 // elements touched
-	if m.Rows*m.Cols < parallelThreshold {
-		for i := 0; i < m.Rows; i++ {
-			y[i] = f.Dot(m.Row(i), x)
-		}
-		return y
-	}
-	parallelRows(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] = f.Dot(m.Row(i), x)
-		}
-	})
+	MatVecInto(f, y, m, x)
 	return y
 }
 
-// MatMul computes c = a·b over F_q with an i-k-j loop order (streaming rows
-// of b) and row-block parallelism.
+// MatVecInto computes y = m·x into a caller-owned slice: the steady-state
+// form (zero heap allocations) for round loops that reuse their output rows.
+func MatVecInto(f *field.Field, y []field.Elem, m *Matrix, x []field.Elem) {
+	if len(x) != m.Cols {
+		panic("fieldmat: MatVec dimension mismatch")
+	}
+	if len(y) != m.Rows {
+		panic("fieldmat: MatVec output length mismatch")
+	}
+	if m.Rows*m.Cols < ParallelThreshold || m.Rows < 2 {
+		matVecRows(f, y, m, x, 0, m.Rows)
+		return
+	}
+	dispatch(m.Rows, &task{run: runMatVec, f: f, a: m, x: x, y: y})
+}
+
+func runMatVec(t *task) { matVecRows(t.f, t.y, t.a, t.x, t.lo, t.hi) }
+
+func matVecRows(f *field.Field, y []field.Elem, m *Matrix, x []field.Elem, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = f.Dot(m.Row(i), x)
+	}
+}
+
+// MatMul computes c = a·b over F_q.
 func MatMul(f *field.Field, a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(f, c, a, b)
+	return c
+}
+
+// MatMulInto computes c = a·b into a caller-owned matrix (zero heap
+// allocations in steady state). c must not alias a or b.
+//
+// The kernel is blocked for the lazy-reduction contract (DESIGN.md §7): each
+// output row streams rows of b through a pooled uint64 accumulator row in
+// LazyBatch-sized k-tiles — raw multiply-adds inside a tile, one Barrett
+// reduction per accumulator entry per tile, instead of the seed's two
+// divisions per multiply-add. Row blocks run on the package worker pool.
+func MatMulInto(f *field.Field, c, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic("fieldmat: MatMul dimension mismatch")
 	}
-	c := NewMatrix(a.Rows, b.Cols)
-	work := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				f.AXPY(crow, av, b.Row(k))
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("fieldmat: MatMul output shape mismatch")
+	}
+	if a.Rows*a.Cols+b.Rows*b.Cols < ParallelThreshold || a.Rows < 2 {
+		buf := getAcc(b.Cols)
+		matMulRows(f, c, a, b, 0, a.Rows, buf.s)
+		putAcc(buf)
+		return
+	}
+	dispatch(a.Rows, &task{run: runMatMul, f: f, a: a, b: b, c: c})
+}
+
+func runMatMul(t *task) {
+	buf := getAcc(t.b.Cols)
+	matMulRows(t.f, t.c, t.a, t.b, t.lo, t.hi, buf.s)
+	putAcc(buf)
+}
+
+// matMulRows is the blocked row kernel; acc is a zeroed scratch row of
+// length b.Cols, returned zeroed (Flush) for pooling. Rows of b stream
+// through the accumulator with field.LazyAcc enforcing the one-reduction-
+// per-LazyBatch-rows contract.
+func matMulRows(f *field.Field, c, a, b *Matrix, lo, hi int, acc []uint64) {
+	for i := lo; i < hi; i++ {
+		la := f.NewLazyAcc(acc)
+		for k, av := range a.Row(i) {
+			if av != 0 {
+				la.AXPY(av, b.Row(k))
 			}
 		}
+		la.Flush(c.Row(i))
 	}
-	const parallelThreshold = 1 << 14
-	if a.Rows*a.Cols+b.Rows*b.Cols < parallelThreshold {
-		work(0, a.Rows)
-	} else {
-		parallelRows(a.Rows, work)
-	}
-	return c
 }
 
 // VecMat computes y = xᵀ·m (a row vector times a matrix); the Freivalds key
 // s = r·X̃ is exactly this shape.
 func VecMat(f *field.Field, x []field.Elem, m *Matrix) []field.Elem {
+	y := make([]field.Elem, m.Cols)
+	VecMatInto(f, y, x, m)
+	return y
+}
+
+// VecMatInto computes y = xᵀ·m into a caller-owned slice through a pooled
+// lazy accumulator row: one reduction pass per LazyBatch matrix rows.
+func VecMatInto(f *field.Field, y []field.Elem, x []field.Elem, m *Matrix) {
 	if len(x) != m.Rows {
 		panic("fieldmat: VecMat dimension mismatch")
 	}
-	y := make([]field.Elem, m.Cols)
-	for i, xi := range x {
-		if xi == 0 {
-			continue
-		}
-		f.AXPY(y, xi, m.Row(i))
+	if len(y) != m.Cols {
+		panic("fieldmat: VecMat output length mismatch")
 	}
-	return y
+	buf := getAcc(m.Cols)
+	la := f.NewLazyAcc(buf.s)
+	for i, xi := range x {
+		if xi != 0 {
+			la.AXPY(xi, m.Row(i))
+		}
+	}
+	la.Flush(y)
+	putAcc(buf)
 }
 
 // Scale multiplies every element in place by c.
@@ -247,30 +293,4 @@ func (m *Matrix) AXPY(f *field.Field, c field.Elem, o *Matrix) {
 		panic("fieldmat: AXPY shape mismatch")
 	}
 	f.AXPY(m.Data, c, o.Data)
-}
-
-// parallelRows splits [0, n) across NumCPU goroutines.
-func parallelRows(n int, fn func(lo, hi int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	per := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += per {
-		hi := lo + per
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package fieldmat
+
+// raceEnabled reports whether the race detector is active; the strict
+// zero-allocation assertions only run without it (the detector's
+// instrumentation perturbs allocation accounting).
+const raceEnabled = false

@@ -42,6 +42,10 @@ type Code struct {
 	alphas []field.Elem
 	// gen is the (K+T)×N matrix gen[j][i] = ℓ_j(α_i).
 	gen *fieldmat.Matrix
+	// plans memoizes decode weights per surviving-worker point set (targets
+	// are the K data points); scenario churn re-decodes the same survivor
+	// set every round, so the interpolation weights amortise to a lookup.
+	plans *poly.DecodePlans
 }
 
 // New constructs an (n, k, t) Lagrange code for degree-degF computations.
@@ -70,13 +74,13 @@ func New(f *field.Field, n, k, t, degF int) (*Code, error) {
 		alphas = f.DistinctPoints(n, uint64(k+t)+1)
 	}
 	gen := fieldmat.NewMatrix(k+t, n)
-	for i, a := range alphas {
-		w := poly.InterpWeights(f, betas, a)
+	for i, w := range poly.InterpWeightsBatch(f, betas, alphas) {
 		for j := 0; j < k+t; j++ {
 			gen.Set(j, i, w[j])
 		}
 	}
-	return &Code{f: f, n: n, k: k, t: t, degF: degF, betas: betas, alphas: alphas, gen: gen}, nil
+	return &Code{f: f, n: n, k: k, t: t, degF: degF, betas: betas, alphas: alphas, gen: gen,
+		plans: poly.NewDecodePlans(f, betas[:k])}, nil
 }
 
 // RecoveryThreshold returns the number of correct evaluations needed to
@@ -190,10 +194,10 @@ func (c *Code) DecodeVectors(workers []int, results [][]field.Elem) ([][]field.E
 	for r, w := range workers {
 		xs[r] = c.alphas[w]
 	}
+	weights := c.plans.Weights(xs)
 	out := make([][]field.Elem, c.k)
 	for j := 0; j < c.k; j++ {
-		w := poly.InterpWeights(c.f, xs, c.betas[j])
-		out[j] = poly.CombineVectors(c.f, w, results)
+		out[j] = poly.CombineVectors(c.f, weights[j], results)
 	}
 	return out, nil
 }

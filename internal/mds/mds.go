@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/fieldmat"
+	"repro/internal/poly"
 )
 
 // Code is an immutable (N,K) systematic MDS code over a prime field.
@@ -29,6 +30,15 @@ type Code struct {
 	// gen is the K×N generator matrix; column i holds the combination
 	// coefficients of worker i's shard.
 	gen *fieldmat.Matrix
+	// alphas are the evaluation points the generator was built from: worker
+	// i holds the value at alphas[i], block j lives at alphas[j] (the
+	// systematic property). Decode interpolates between them.
+	alphas []field.Elem
+	// plans memoizes decode weights per verified-worker set: the churn and
+	// degrade scenarios decode the same survivor set every round, so the
+	// weight computation (with its batched inversions) amortises to a map
+	// lookup. See DESIGN.md §7 for the keying.
+	plans *poly.DecodePlans
 }
 
 // New constructs an (n, k) code. It requires 1 ≤ k ≤ n and n < q (distinct
@@ -43,26 +53,15 @@ func New(f *field.Field, n, k int) (*Code, error) {
 	alphas := f.DistinctPoints(n, 1) // α_i = i+1; β_j = α_j for j < k
 	betas := alphas[:k]
 	gen := fieldmat.NewMatrix(k, n)
-	for j := 0; j < k; j++ {
-		for i := 0; i < n; i++ {
-			gen.Set(j, i, lagrangeCoeff(f, betas, j, alphas[i]))
+	// Column i is ℓ_·(α_i); the batch shares one denominator inversion over
+	// the betas across all N columns.
+	for i, col := range poly.InterpWeightsBatch(f, betas, alphas) {
+		for j, w := range col {
+			gen.Set(j, i, w)
 		}
 	}
-	return &Code{f: f, n: n, k: k, gen: gen}, nil
-}
-
-// lagrangeCoeff evaluates ℓ_j(z) over the points in betas.
-func lagrangeCoeff(f *field.Field, betas []field.Elem, j int, z field.Elem) field.Elem {
-	num := field.Elem(1)
-	den := field.Elem(1)
-	for m, bm := range betas {
-		if m == j {
-			continue
-		}
-		num = f.Mul(num, f.Sub(z, bm))
-		den = f.Mul(den, f.Sub(betas[j], bm))
-	}
-	return f.Div(num, den)
+	return &Code{f: f, n: n, k: k, gen: gen, alphas: alphas,
+		plans: poly.NewDecodePlans(f, betas)}, nil
 }
 
 // N returns the code length (number of workers).
@@ -116,8 +115,14 @@ func (c *Code) EncodeMatrix(x *fieldmat.Matrix) ([]*fieldmat.Matrix, error) {
 
 // DecodeVectors recovers the K per-block results Y_1..Y_K from exactly K
 // verified worker results: results[r] = Σ_j G[j][workers[r]]·Y_j. This is
-// the paper's step 4 — multiply by the inverse of the K×K submatrix of the
-// generator selected by the verified workers' indices.
+// the paper's step 4. Because G[j][i] = ℓ_j(α_i) over the data points, the
+// results are evaluations at {α_workers[r]} of the degree-(K−1) vector
+// polynomial whose value at β_j is Y_j — so decoding is interpolation, not
+// linear solving: Y_j = Σ_r W[j][r]·results[r] with interpolation weights
+// W[j][r] = ℓ'_r(β_j) over the points {α_workers[r]}. The weight matrix
+// depends only on the worker set and is memoized (decodePlan), so repeated
+// decodes from the same survivors — every steady round of every scenario —
+// cost one lazy weighted pass per block and nothing else.
 func (c *Code) DecodeVectors(workers []int, results [][]field.Elem) ([][]field.Elem, error) {
 	if len(workers) != c.k || len(results) != c.k {
 		return nil, fmt.Errorf("mds: decode needs exactly K = %d results, got %d", c.k, len(workers))
@@ -136,24 +141,14 @@ func (c *Code) DecodeVectors(workers []int, results [][]field.Elem) ([][]field.E
 			return nil, fmt.Errorf("mds: ragged result vectors")
 		}
 	}
-	// A[r][j] = G[j][workers[r]]; R = A·Y.
-	a := fieldmat.NewMatrix(c.k, c.k)
-	rmat := fieldmat.NewMatrix(c.k, dim)
+	xs := make([]field.Elem, len(workers))
 	for r, w := range workers {
-		for j := 0; j < c.k; j++ {
-			a.Set(r, j, c.gen.At(j, w))
-		}
-		copy(rmat.Row(r), results[r])
+		xs[r] = c.alphas[w]
 	}
-	y, err := fieldmat.SolveMatrix(c.f, a, rmat)
-	if err != nil {
-		// Any K columns of the generator are independent by construction,
-		// so this indicates corrupted inputs, not bad luck.
-		return nil, fmt.Errorf("mds: decode system singular (corrupted inputs?): %w", err)
-	}
+	weights := c.plans.Weights(xs)
 	out := make([][]field.Elem, c.k)
 	for j := 0; j < c.k; j++ {
-		out[j] = field.CopyVec(y.Row(j))
+		out[j] = poly.CombineVectors(c.f, weights[j], results)
 	}
 	return out, nil
 }

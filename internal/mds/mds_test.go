@@ -262,6 +262,129 @@ func TestGeneratorAllKSubmatricesInvertible(t *testing.T) {
 	}
 }
 
+// decodeRef is the seed decoder: build the K×K generator submatrix selected
+// by the workers and solve A·Y = R by Gauss–Jordan. The interpolation-plan
+// decoder must stay bit-exact with it for every worker subset.
+func decodeRef(t *testing.T, code *Code, workers []int, results [][]field.Elem) [][]field.Elem {
+	t.Helper()
+	k := code.K()
+	dim := len(results[0])
+	a := fieldmat.NewMatrix(k, k)
+	rmat := fieldmat.NewMatrix(k, dim)
+	gen := code.Generator()
+	for r, w := range workers {
+		for j := 0; j < k; j++ {
+			a.Set(r, j, gen.At(j, w))
+		}
+		copy(rmat.Row(r), results[r])
+	}
+	y, err := fieldmat.SolveMatrix(code.Field(), a, rmat)
+	if err != nil {
+		t.Fatalf("reference decode singular: %v", err)
+	}
+	out := make([][]field.Elem, k)
+	for j := 0; j < k; j++ {
+		out[j] = field.CopyVec(y.Row(j))
+	}
+	return out
+}
+
+// TestDecodePlanMatchesSolveReference checks the cached interpolation-plan
+// decode against the linear-solve reference over every 9-subset of the
+// paper's (12,9) code — all 220 survivor sets, repeated to exercise cache
+// hits, plus permuted worker orderings.
+func TestDecodePlanMatchesSolveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	code, err := New(f, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fieldmat.Rand(f, rng, 36, 7)
+	w := f.RandVec(rng, 7)
+	shards, err := code.EncodeMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]field.Elem, 12)
+	for i, sh := range shards {
+		results[i] = fieldmat.MatVec(f, sh, w)
+	}
+	check := func(chosen []int) {
+		res := make([][]field.Elem, len(chosen))
+		for r, i := range chosen {
+			res[r] = results[i]
+		}
+		want := decodeRef(t, code, chosen, res)
+		for pass := 0; pass < 2; pass++ { // second pass hits the plan cache
+			got, err := code.DecodeVectors(chosen, res)
+			if err != nil {
+				t.Fatalf("decode %v: %v", chosen, err)
+			}
+			for j := range want {
+				if !field.EqualVec(got[j], want[j]) {
+					t.Fatalf("decode %v pass %d: block %d diverges from solve reference", chosen, pass, j)
+				}
+			}
+		}
+	}
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) == 9 {
+			check(append([]int(nil), chosen...))
+			return
+		}
+		for i := start; i < 12; i++ {
+			rec(i+1, append(chosen, i))
+		}
+	}
+	rec(0, nil)
+	// Order matters to the plan keying: a shuffled worker list must still
+	// decode correctly (weights align with the shuffled results).
+	perm := []int{8, 2, 11, 0, 5, 9, 1, 4, 7}
+	check(perm)
+}
+
+// TestDecodePlanCacheSurvivesManyWorkerSets cycles through more survivor
+// sets than the cache cap to exercise the reset path.
+func TestDecodePlanCacheSurvivesManyWorkerSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	code, err := New(f, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fieldmat.Rand(f, rng, 9, 4)
+	w := f.RandVec(rng, 4)
+	shards, err := code.EncodeMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fieldmat.MatVec(f, x, w)
+	results := make([][]field.Elem, 16)
+	for i, sh := range shards {
+		results[i] = fieldmat.MatVec(f, sh, w)
+	}
+	sets := 0
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			for c := b + 1; c < 16; c++ {
+				chosen := []int{a, b, c}
+				res := [][]field.Elem{results[a], results[b], results[c]}
+				got, err := code.DecodeConcat(chosen, res)
+				if err != nil {
+					t.Fatalf("decode %v: %v", chosen, err)
+				}
+				if !field.EqualVec(got, want) {
+					t.Fatalf("decode %v wrong", chosen)
+				}
+				sets++
+			}
+		}
+	}
+	if sets != 560 { // 16 choose 3 — ~4.4x the 128-entry cache cap
+		t.Fatalf("covered %d worker sets, want 560", sets)
+	}
+}
+
 func BenchmarkEncode12x9(b *testing.B) {
 	rng := rand.New(rand.NewSource(76))
 	code, _ := New(f, 12, 9)

@@ -138,8 +138,7 @@ func Interpolate(f *field.Field, xs, ys []field.Elem) Poly {
 		return nil
 	}
 	result := make(Poly, 0, n)
-	for j := 0; j < n; j++ {
-		lj := LagrangeBasis(f, xs, j)
+	for j, lj := range LagrangeBasisAll(f, xs) {
 		result = Add(f, result, Scale(f, ys[j], lj))
 	}
 	return Normalize(result)
@@ -158,6 +157,47 @@ func LagrangeBasis(f *field.Field, xs []field.Elem, j int) Poly {
 		denom = f.Mul(denom, f.Sub(xs[j], xk))
 	}
 	return Scale(f, f.Inv(denom), num)
+}
+
+// LagrangeBasisAll returns every basis polynomial ℓ_0..ℓ_{n−1} at once, in
+// O(n²) total: the master polynomial M(z) = Π_k (z−x_k) is built once, each
+// numerator M/(z−x_j) falls out of a length-n synthetic division, and all n
+// denominators are inverted in one field.InvMany batch. Building the bases
+// one at a time (LagrangeBasis) costs O(n²) polynomial work PLUS a Fermat
+// inversion PER basis — this is the encoder-side analogue of the decode
+// plans in internal/mds and internal/lcc.
+func LagrangeBasisAll(f *field.Field, xs []field.Elem) []Poly {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	// Master polynomial M(z) = Π_k (z−x_k), degree n.
+	master := make(Poly, n+1)
+	master[0] = 1
+	deg := 0
+	for _, xk := range xs {
+		// Multiply by (z − x_k) in place: shift up and subtract x_k·coeff.
+		master[deg+1] = master[deg]
+		for i := deg; i > 0; i-- {
+			master[i] = f.Sub(master[i-1], f.Mul(xk, master[i]))
+		}
+		master[0] = f.Mul(f.Neg(xk), master[0])
+		deg++
+	}
+	invDen := f.InvMany(lagrangeDenominators(f, xs))
+	out := make([]Poly, n)
+	for j, xj := range xs {
+		// Synthetic division: q(z) = M(z)/(z−x_j), exact because x_j is a
+		// root. Coefficients emerge highest-first via Horner's recurrence.
+		q := make(Poly, n)
+		carry := master[n]
+		for i := n - 1; i >= 0; i-- {
+			q[i] = carry
+			carry = f.Add(master[i], f.Mul(xj, carry))
+		}
+		out[j] = Scale(f, invDen[j], q)
+	}
+	return out
 }
 
 // EvalLagrange evaluates the interpolant of (xs, ys) directly at point z

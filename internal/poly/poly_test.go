@@ -2,6 +2,7 @@ package poly
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -202,6 +203,164 @@ func TestCombineVectorsMatchesComponentwise(t *testing.T) {
 			t.Fatal("vector combine mismatch at component")
 		}
 	}
+}
+
+// interpWeightsRef is the seed implementation: per-j O(n) products and one
+// Fermat inversion per weight. The batched InterpWeights must match it
+// bit-exactly, including when the target coincides with a sample point.
+func interpWeightsRef(f *field.Field, xs []field.Elem, target field.Elem) []field.Elem {
+	n := len(xs)
+	w := make([]field.Elem, n)
+	for j := 0; j < n; j++ {
+		num := field.Elem(1)
+		den := field.Elem(1)
+		for k, xk := range xs {
+			if k == j {
+				continue
+			}
+			num = f.Mul(num, f.Sub(target, xk))
+			den = f.Mul(den, f.Sub(xs[j], xk))
+		}
+		w[j] = f.Div(num, den)
+	}
+	return w
+}
+
+func TestInterpWeightsMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for _, fld := range []*field.Field{f, field.MustNew(97), field.MustNew(2147483647)} {
+		for _, n := range []int{1, 2, 5, 12, 23} {
+			xs := fld.DistinctPoints(n, 3)
+			targets := []field.Elem{0, 1, fld.Rand(rng), fld.Q() - 1}
+			// Targets ON the sample points: weights must degenerate to the
+			// Kronecker delta, the systematic-decode case.
+			targets = append(targets, xs[0], xs[n-1], xs[n/2])
+			for _, z := range targets {
+				got := InterpWeights(fld, xs, z)
+				want := interpWeightsRef(fld, xs, z)
+				if !field.EqualVec(got, want) {
+					t.Fatalf("q=%d n=%d target=%d: InterpWeights diverges from reference", fld.Q(), n, z)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpWeightsBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	xs := f.DistinctPoints(9, 5)
+	targets := []field.Elem{0, 1, xs[0], xs[8], f.Rand(rng), f.Q() - 1}
+	batch := InterpWeightsBatch(f, xs, targets)
+	if len(batch) != len(targets) {
+		t.Fatalf("batch returned %d weight sets for %d targets", len(batch), len(targets))
+	}
+	for t2, target := range targets {
+		if !field.EqualVec(batch[t2], InterpWeights(f, xs, target)) {
+			t.Fatalf("batch weights for target %d diverge from single-target path", target)
+		}
+	}
+	if got := InterpWeightsBatch(f, nil, targets); len(got) != len(targets) || got[0] != nil {
+		t.Fatal("batch over no points should yield nil weight sets")
+	}
+}
+
+func TestInterpWeightsEmpty(t *testing.T) {
+	if w := InterpWeights(f, nil, 5); w != nil {
+		t.Fatalf("InterpWeights on no points = %v, want nil", w)
+	}
+}
+
+func TestLagrangeBasisAllMatchesPerBasis(t *testing.T) {
+	for _, start := range []uint64{1, 17} {
+		for _, n := range []int{1, 2, 7, 12} {
+			xs := f.DistinctPoints(n, start)
+			all := LagrangeBasisAll(f, xs)
+			if len(all) != n {
+				t.Fatalf("LagrangeBasisAll returned %d bases for %d points", len(all), n)
+			}
+			for j := range xs {
+				if !Equal(all[j], LagrangeBasis(f, xs, j)) {
+					t.Fatalf("basis %d of %d diverges from per-basis construction", j, n)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineVectorsManyTerms(t *testing.T) {
+	// More contributing vectors than the lazy budget of a small-batch field:
+	// the in-place accumulator must reduce between chunks.
+	fld := field.MustNew(2147483647) // LazyBatch = 2
+	rng := rand.New(rand.NewSource(50))
+	const terms, dim = 9, 4
+	w := make([]field.Elem, terms)
+	vecs := make([][]field.Elem, terms)
+	for i := range w {
+		w[i] = fld.Q() - 1 // adversarial maximal coefficients
+		vecs[i] = make([]field.Elem, dim)
+		for c := range vecs[i] {
+			vecs[i][c] = fld.Q() - 1 - field.Elem(rng.Intn(2))
+		}
+	}
+	got := CombineVectors(fld, w, vecs)
+	want := make([]field.Elem, dim)
+	for i := range w {
+		for c := range want {
+			want[c] = fld.Add(want[c], fld.Mul(w[i], vecs[i][c]))
+		}
+	}
+	if !field.EqualVec(got, want) {
+		t.Fatal("CombineVectors diverges from per-element reference")
+	}
+}
+
+func TestDecodePlansMemoizes(t *testing.T) {
+	targets := f.DistinctPoints(4, 1)
+	plans := NewDecodePlans(f, targets)
+	xs := f.DistinctPoints(6, 10)
+	w1 := plans.Weights(xs)
+	w2 := plans.Weights(xs)
+	if len(w1) != 4 || len(w1[0]) != 6 {
+		t.Fatalf("weights shape %dx%d, want 4x6", len(w1), len(w1[0]))
+	}
+	if &w1[0][0] != &w2[0][0] {
+		t.Fatal("repeated Weights call rebuilt the plan instead of hitting the cache")
+	}
+	for tgt := range targets {
+		want := InterpWeights(f, xs, targets[tgt])
+		if !field.EqualVec(w1[tgt], want) {
+			t.Fatalf("cached weights for target %d diverge from InterpWeights", tgt)
+		}
+	}
+	// A different ordering of the same points is a different plan (weights
+	// must align with the caller's results order).
+	rev := make([]field.Elem, len(xs))
+	for i, x := range xs {
+		rev[len(xs)-1-i] = x
+	}
+	wrev := plans.Weights(rev)
+	if field.EqualVec(wrev[1], w1[1]) {
+		t.Fatal("reversed point order produced identical weight rows")
+	}
+}
+
+func TestDecodePlansConcurrent(t *testing.T) {
+	plans := NewDecodePlans(f, f.DistinctPoints(3, 1))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				xs := f.DistinctPoints(5, uint64(20+(g+i)%7))
+				w := plans.Weights(xs)
+				if len(w) != 3 {
+					panic("bad weights shape")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func BenchmarkInterpolate12(b *testing.B) {

@@ -1,36 +1,155 @@
 package poly
 
-import "repro/internal/field"
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/field"
+)
 
 // Vector-valued interpolation support. Worker results are vectors over F_q
 // (e.g. X̃_i·w ∈ F_q^{m/K}); interpolating the vector-valued polynomial
 // f(u(z)) component-wise and evaluating it at a data point β reduces to a
 // single weighted sum Σ_j w_j·ys_j where the weights depend only on the
 // interpolation points and β. Precomputing them turns LCC decode into one
-// pass of AXPYs per output block.
+// pass of lazy AXPYs per output block.
 
 // InterpWeights returns weights w with value(target) = Σ_j w[j]·y_j for the
 // unique interpolant through the distinct points xs. w[j] = ℓ_j(target).
+//
+// The numerators Π_{k≠j}(target−x_k) come from prefix/suffix products (O(n)
+// multiplies instead of O(n²)), and the n Lagrange denominators are inverted
+// with one batched Montgomery-trick inversion (field.InvMany) instead of n
+// Fermat exponentiations — the dominant cost of the seed implementation.
 func InterpWeights(f *field.Field, xs []field.Elem, target field.Elem) []field.Elem {
+	if len(xs) == 0 {
+		return nil
+	}
+	return interpWeightsWith(f, xs, invDenominators(f, xs), target)
+}
+
+// InterpWeightsBatch returns InterpWeights(f, xs, t) for every target t,
+// sharing one denominator computation and one batched inversion across all
+// targets — the denominators depend only on xs. Both the decode plans and
+// the generator-matrix builders read out a whole target set per point set.
+func InterpWeightsBatch(f *field.Field, xs, targets []field.Elem) [][]field.Elem {
+	out := make([][]field.Elem, len(targets))
+	if len(xs) == 0 {
+		return out
+	}
+	invDen := invDenominators(f, xs)
+	for t, target := range targets {
+		out[t] = interpWeightsWith(f, xs, invDen, target)
+	}
+	return out
+}
+
+// interpWeightsWith computes the weights for one target given the
+// precomputed inverse Lagrange denominators of xs.
+func interpWeightsWith(f *field.Field, xs, invDen []field.Elem, target field.Elem) []field.Elem {
 	n := len(xs)
 	w := make([]field.Elem, n)
-	for j := 0; j < n; j++ {
-		num := field.Elem(1)
-		den := field.Elem(1)
-		for k, xk := range xs {
-			if k == j {
-				continue
-			}
-			num = f.Mul(num, f.Sub(target, xk))
-			den = f.Mul(den, f.Sub(xs[j], xk))
-		}
-		w[j] = f.Div(num, den)
+	// w[j] ← Π_{k<j}(target−x_k), then fold in the suffix products so
+	// w[j] = Π_{k≠j}(target−x_k).
+	pre := field.Elem(1)
+	for j, xj := range xs {
+		w[j] = pre
+		pre = f.Mul(pre, f.Sub(target, xj))
+	}
+	suf := field.Elem(1)
+	for j := n - 1; j >= 0; j-- {
+		w[j] = f.Mul(f.Mul(w[j], suf), invDen[j])
+		suf = f.Mul(suf, f.Sub(target, xs[j]))
 	}
 	return w
 }
 
+// invDenominators returns the batch-inverted Lagrange denominators of xs.
+func invDenominators(f *field.Field, xs []field.Elem) []field.Elem {
+	return f.InvMany(lagrangeDenominators(f, xs))
+}
+
+// DecodePlans memoizes, for a fixed set of read-out targets, the
+// interpolation weights of varying source point sets. This is the decode
+// plan cache of the MDS and Lagrange decoders: the targets are the data
+// points β_j (fixed at code construction), the sources are the evaluation
+// points of whichever verified workers survived the round — and the churn
+// scenarios present the same survivor set round after round, so the weight
+// computation amortises to a map lookup. Safe for concurrent use.
+type DecodePlans struct {
+	f       *field.Field
+	targets []field.Elem
+
+	mu    sync.Mutex
+	plans map[string][][]field.Elem
+}
+
+// planCacheCap bounds the memoization map: 128 distinct source sets is far
+// beyond any scenario preset's churn, and on overflow the map is reset
+// (plans are cheap to rebuild relative to holding them unbounded).
+const planCacheCap = 128
+
+// NewDecodePlans builds a cache reading out at the given targets. The
+// targets slice is retained and must not be mutated.
+func NewDecodePlans(f *field.Field, targets []field.Elem) *DecodePlans {
+	return &DecodePlans{f: f, targets: targets, plans: make(map[string][][]field.Elem)}
+}
+
+// Weights returns w with w[t][r] = ℓ_r(targets[t]) over the source points
+// xs: decoded[t] = Σ_r w[t][r]·results[r]. The result is memoized per
+// ordered xs and must not be mutated. xs must be distinct.
+func (p *DecodePlans) Weights(xs []field.Elem) [][]field.Elem {
+	key := pointSetKey(xs)
+	p.mu.Lock()
+	w, ok := p.plans[key]
+	p.mu.Unlock()
+	if ok {
+		return w
+	}
+	w = InterpWeightsBatch(p.f, xs, p.targets)
+	p.mu.Lock()
+	if len(p.plans) >= planCacheCap {
+		p.plans = make(map[string][][]field.Elem)
+	}
+	p.plans[key] = w
+	p.mu.Unlock()
+	return w
+}
+
+// pointSetKey serialises an ordered point set as the cache key: 4
+// little-endian bytes per element (all evaluation points are canonical
+// elements of a q < 2^32 field). Order matters — weights align with the
+// caller's results slice.
+func pointSetKey(xs []field.Elem) string {
+	buf := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
+	}
+	return string(buf)
+}
+
+// lagrangeDenominators returns d_j = Π_{k≠j}(x_j−x_k) for all j. The points
+// must be distinct, so every d_j is nonzero.
+func lagrangeDenominators(f *field.Field, xs []field.Elem) []field.Elem {
+	den := make([]field.Elem, len(xs))
+	for j, xj := range xs {
+		d := field.Elem(1)
+		for k, xk := range xs {
+			if k == j {
+				continue
+			}
+			d = f.Mul(d, f.Sub(xj, xk))
+		}
+		den[j] = d
+	}
+	return den
+}
+
 // CombineVectors returns Σ_j w[j]·vecs[j], the vector-valued evaluation that
-// pairs with InterpWeights. All vectors must share a length.
+// pairs with InterpWeights. All vectors must share a length. The sum runs
+// through a lazy accumulator: raw multiply-adds with one reduction pass per
+// field.LazyBatch contributing vectors (the output slice doubles as the
+// uint64 accumulator row, so no scratch is allocated).
 func CombineVectors(f *field.Field, w []field.Elem, vecs [][]field.Elem) []field.Elem {
 	if len(w) != len(vecs) {
 		panic("poly: CombineVectors length mismatch")
@@ -39,14 +158,15 @@ func CombineVectors(f *field.Field, w []field.Elem, vecs [][]field.Elem) []field
 		return nil
 	}
 	out := make([]field.Elem, len(vecs[0]))
+	la := f.NewLazyAcc(out)
 	for j, wj := range w {
 		if len(vecs[j]) != len(out) {
 			panic("poly: CombineVectors ragged vectors")
 		}
-		if wj == 0 {
-			continue
+		if wj != 0 {
+			la.AXPY(wj, vecs[j])
 		}
-		f.AXPY(out, wj, vecs[j])
 	}
+	la.Reduce()
 	return out
 }
