@@ -1,0 +1,156 @@
+package repro_test
+
+// Serving-layer benchmark: closed-loop throughput of scheme.Service over
+// the virtual-executor AVCC deployment at CI scale, as a function of the
+// coalescing cap. 32 concurrent clients submit matvec solves back to back;
+// the only variable between sub-benchmarks is ServiceConfig.MaxBatch, so
+// the measured ratio is exactly the value of packing many requests into one
+// coded round (one broadcast, one verification sweep, one decode) instead
+// of running rounds back to back. When the full matrix runs (as
+// `go test -bench BenchmarkServing` does), req/s and the p50/p99 submit→
+// resolve latencies are written to BENCH_serving.json, the committed
+// serving-trajectory artifact.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/scheme"
+)
+
+// servingRow is one BENCH_serving.json entry.
+type servingRow struct {
+	Batch     int     `json:"batch"`
+	Requests  uint64  `json:"requests"`
+	Rounds    uint64  `json:"rounds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+var (
+	servingMu      sync.Mutex
+	servingResults = map[int]servingRow{}
+)
+
+// servingBatchSizes is the benchmark's MaxBatch sweep.
+var servingBatchSizes = []int{1, 8, 32}
+
+func BenchmarkServing(b *testing.B) {
+	const clients = 32
+	f := field.Default()
+	rng := rand.New(rand.NewSource(77))
+	x := fieldmat.Rand(f, rng, 54, 18)
+
+	for _, batch := range servingBatchSizes {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			m, err := scheme.New("avcc", f, scheme.NewConfig(scheme.WithSeed(77)),
+				map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc := scheme.NewService(m, scheme.ServiceConfig{
+				MaxBatch:   batch,
+				MaxLinger:  200 * time.Microsecond,
+				MaxPending: 4 * clients,
+			})
+			inputs := make([][]field.Elem, clients)
+			for i := range inputs {
+				inputs[i] = f.RandVec(rng, x.Cols)
+			}
+
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					ctx := scheme.WithTenant(context.Background(), "bench")
+					in := inputs[c]
+					for i := c; i < b.N; i += clients {
+						fu := svc.Submit(ctx, "fwd", in)
+						if _, err := fu.Wait(ctx); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			// Spot-check one decode per config: serving must stay exact.
+			fu := svc.Submit(context.Background(), "fwd", inputs[0])
+			out, err := fu.Wait(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, inputs[0])) {
+				b.Fatal("served decode is not the exact product")
+			}
+			if err := svc.Close(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+
+			stats := svc.Stats()
+			reqPerSec := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(reqPerSec, "req/s")
+			if stats.Rounds > 0 {
+				b.ReportMetric(float64(stats.Requests)/float64(stats.Rounds), "req/round")
+			}
+			var lat servingRow
+			for _, ts := range stats.Tenants {
+				if ts.Tenant == "bench" {
+					lat.P50Ms = ts.Latency.P50 * 1e3
+					lat.P99Ms = ts.Latency.P99 * 1e3
+				}
+			}
+			if b.N > 1 {
+				servingMu.Lock()
+				servingResults[batch] = servingRow{
+					Batch:     batch,
+					Requests:  uint64(b.N),
+					Rounds:    stats.Rounds,
+					ReqPerSec: reqPerSec,
+					P50Ms:     lat.P50Ms,
+					P99Ms:     lat.P99Ms,
+				}
+				servingMu.Unlock()
+			}
+		})
+	}
+
+	servingMu.Lock()
+	defer servingMu.Unlock()
+	rows := make([]servingRow, 0, len(servingBatchSizes))
+	for _, batch := range servingBatchSizes {
+		row, ok := servingResults[batch]
+		if !ok {
+			b.Logf("skipping BENCH_serving.json: batch=%d incomplete (smoke run)", batch)
+			return
+		}
+		rows = append(rows, row)
+	}
+	data, err := json.MarshalIndent(map[string]any{
+		"benchmark": "BenchmarkServing",
+		"workload":  "avcc (12,9) virtual executor, 54x18 matvec, 32 closed-loop clients",
+		"rows":      rows,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serving.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_serving.json (%d configs)", len(rows))
+}

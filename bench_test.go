@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"os"
@@ -200,7 +201,7 @@ func BenchmarkAblationRecodeOnset(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					series, _, err := logreg.TrainDistributed(f, m, ds, sc.Train)
+					series, _, err := logreg.TrainDistributed(context.Background(), f, m, ds, sc.Train)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -375,7 +376,7 @@ func runScenarioBench(b *testing.B, profile, name string, rounds int) (virtualSe
 	w := f.RandVec(rng, 120)
 	start := time.Now()
 	for iter := 0; iter < rounds; iter++ {
-		out, err := m.RunRound("fwd", w, iter)
+		out, err := m.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -460,7 +461,7 @@ func BenchmarkGramGeneralizedAVCC(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.RunRound(gavcc.GramKey, nil, i); err != nil {
+		if _, err := m.RunRound(context.Background(), gavcc.GramKey, nil, i); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -93,7 +94,7 @@ func run(rows, cols, rounds, byzantine int, attackName string, seed int64) error
 	for iter := 0; iter < rounds; iter++ {
 		w := f.RandVec(rng, cols)
 		want := fieldmat.MatVec(f, x, w)
-		out, err := master.RunRound("fwd", w, iter)
+		out, err := master.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -119,7 +120,7 @@ func run(schemeName, task, attackName string, s, m, iters int, scale string, see
 
 	switch task {
 	case "logreg":
-		series, model, err := logreg.TrainDistributed(f, master, ds, sc.Train)
+		series, model, err := logreg.TrainDistributed(context.Background(), f, master, ds, sc.Train)
 		if err != nil {
 			return err
 		}
@@ -131,7 +132,7 @@ func run(schemeName, task, attackName string, s, m, iters int, scale string, see
 		if iters > 0 {
 			cfg.Iterations = iters
 		}
-		series, model, err := linreg.TrainDistributed(f, master, ds, cfg)
+		series, model, err := linreg.TrainDistributed(context.Background(), f, master, ds, cfg)
 		if err != nil {
 			return err
 		}

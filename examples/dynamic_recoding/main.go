@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,7 +61,7 @@ func main() {
 		var clock float64
 		fmt.Printf("\n=== %s ===\n", m.Name())
 		for iter := 0; iter < 10; iter++ {
-			out, err := m.RunRound("fwd", w, iter)
+			out, err := m.RunRound(context.Background(), "fwd", w, iter)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -45,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	out, err := master.RunRound(gavcc.GramKey, nil, 0)
+	out, err := master.RunRound(context.Background(), gavcc.GramKey, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,7 +82,7 @@ func main() {
 		mkMaster("lcc", 1, 1),
 		mkMaster("uncoded", 0, 0),
 	} {
-		series, model, err := logreg.TrainDistributed(f, master, ds, train)
+		series, model, err := logreg.TrainDistributed(context.Background(), f, master, ds, train)
 		if err != nil {
 			log.Fatal(err)
 		}

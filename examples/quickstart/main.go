@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -50,7 +51,7 @@ func main() {
 
 	// One verified coded round: compute y = X·w.
 	w := f.RandVec(rng, 300)
-	out, err := master.RunRound("fwd", w, 0)
+	out, err := master.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -63,7 +64,7 @@ func main() {
 		fmt.Printf("\n-- %s --\n", name)
 		var total float64
 		for iter := 0; iter < rounds; iter++ {
-			out, err := m.RunRound("fwd", w, iter)
+			out, err := m.RunRound(context.Background(), "fwd", w, iter)
 			if err != nil {
 				log.Fatal(err)
 			}

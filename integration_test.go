@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestHonestSchemesAgreeBitExactly(t *testing.T) {
 
 	var reference []float64
 	for name, master := range honestMasters(t, ds) {
-		_, model, err := logreg.TrainDistributed(f, master, ds, cfg)
+		_, model, err := logreg.TrainDistributed(context.Background(), f, master, ds, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -93,12 +94,12 @@ func TestLinregAndLogregShareMasters(t *testing.T) {
 
 	logCfg := logreg.DefaultTrainConfig()
 	logCfg.Iterations = 4
-	if _, _, err := logreg.TrainDistributed(f, m, ds, logCfg); err != nil {
+	if _, _, err := logreg.TrainDistributed(context.Background(), f, m, ds, logCfg); err != nil {
 		t.Fatal(err)
 	}
 	linCfg := linreg.DefaultTrainConfig()
 	linCfg.Iterations = 4
-	series, model, err := linreg.TrainDistributed(f, m, ds, linCfg)
+	series, model, err := linreg.TrainDistributed(context.Background(), f, m, ds, linCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestAttackedLogregOrdering(t *testing.T) {
 
 	acc := map[string]float64{}
 	for name, m := range map[string]cluster.Master{"avcc": avccM, "lcc": lccM, "uncoded": uncodedM} {
-		_, model, err := logreg.TrainDistributed(f, m, ds, cfg)
+		_, model, err := logreg.TrainDistributed(context.Background(), f, m, ds, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -22,6 +22,7 @@
 package avcc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -242,28 +243,48 @@ func (m *Master) resetIterObservations() {
 
 // RunRound implements cluster.Master: broadcast input for the round key,
 // verify results in arrival order, decode from the first threshold-many
-// verified results.
-func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+// verified results. It is the batch-of-one projection of RunRoundBatch, so
+// the two paths cannot drift.
+func (m *Master) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := m.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+// RunRoundBatch implements cluster.Master: the whole batch runs as ONE coded
+// round — inputs packed into one broadcast, each worker computing the full
+// batch against its shard, ONE stacked Freivalds sweep per arriving result
+// (verify.CheckBatch), and one decode whose interpolation weights are shared
+// by every vector in the batch.
+func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field.Elem, iter int) (*cluster.BatchOutput, error) {
 	if _, ok := m.data[key]; !ok {
 		return nil, fmt.Errorf("avcc: unknown round key %q", key)
 	}
-	results := m.exec.RunRound(key, input, iter, m.active)
+	packed, _, err := cluster.PackInputs(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("avcc: %w", err)
+	}
+	batch := len(inputs)
+	results := m.exec.RunRound(ctx, key, packed, batch, iter, m.active)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("avcc: round cancelled: %w", err)
+	}
 	threshold := m.code.Threshold()
 	trials := float64(m.opt.trials())
 
-	out := &cluster.RoundOutput{}
+	out := &cluster.BatchOutput{}
 	var masterFree float64 // when the master finishes its current check
 	var verifiedWorkers []int
 	var verifiedOutputs [][]field.Elem
 	var maxCompute, maxComm float64
 	var processedArrivals []float64
-	processed := 0
 
 	for _, r := range results {
 		if len(verifiedWorkers) == threshold {
 			break
 		}
-		processed++
 		processedArrivals = append(processedArrivals, r.ArriveAt)
 		if r.Err != nil {
 			return nil, fmt.Errorf("avcc: worker %d failed: %w", r.Worker, r.Err)
@@ -272,12 +293,12 @@ func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.Ro
 		if masterFree > start {
 			start = masterFree
 		}
-		checkOps := trials * float64(len(input)+len(r.Output))
+		checkOps := trials * float64(len(packed)+len(r.Output))
 		checkTime := m.opt.Sim.MasterTime(checkOps)
 		masterFree = start + checkTime
 		out.Breakdown.Verify += checkTime
 
-		if m.keys[key][r.Worker].Check(input, r.Output) {
+		if m.keys[key][r.Worker].CheckBatch(packed, r.Output, batch) {
 			verifiedWorkers = append(verifiedWorkers, r.Worker)
 			verifiedOutputs = append(verifiedOutputs, r.Output)
 			if r.ComputeSec > maxCompute {
@@ -301,14 +322,18 @@ func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.Ro
 	for i, id := range verifiedWorkers {
 		codeIdx[i] = m.codePos[id]
 	}
-	decoded, err := m.code.DecodeConcat(codeIdx, verifiedOutputs)
+	blocks, err := m.code.DecodeVectors(codeIdx, verifiedOutputs)
 	if err != nil {
 		return nil, fmt.Errorf("avcc: decode: %w", err)
 	}
-	decodeOps := float64(threshold)*float64(len(decoded)) + float64(threshold*threshold)
+	var decodedLen int
+	for _, blk := range blocks {
+		decodedLen += len(blk)
+	}
+	decodeOps := float64(threshold)*float64(decodedLen) + float64(threshold*threshold)
 	decodeTime := m.opt.Sim.MasterTime(decodeOps)
 
-	out.Decoded = decoded[:m.origRows[key]]
+	out.Outputs = cluster.UnpackBlocks(blocks, batch, m.origRows[key])
 	out.Used = verifiedWorkers
 
 	// Observed stragglers S_t: workers whose results arrived (or would

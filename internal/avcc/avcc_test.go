@@ -1,6 +1,7 @@
 package avcc
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -82,7 +83,7 @@ func TestHonestRoundDecodesExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestBothRoundsOfLogregProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 27)
-	z, err := m.RunRound("fwd", w, 0)
+	z, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestBothRoundsOfLogregProtocol(t *testing.T) {
 		t.Fatal("round 1 wrong")
 	}
 	e := f.RandVec(rng, 18)
-	g, err := m.RunRound("bwd", e, 0)
+	g, err := m.RunRound(context.Background(), "bwd", e, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestPaddingIndivisibleRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 5)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestByzantineDetectedAndExcluded(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestByzantineBeyondBudgetStillCorrectIfEnoughHonest(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestAllDishonestFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.RunRound("fwd", f.RandVec(rng, 6), 0); err == nil {
+	if _, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 6), 0); err == nil {
 		t.Fatal("round succeeded with fewer honest workers than the threshold")
 	} else if !strings.Contains(err.Error(), "verified") {
 		t.Fatalf("unexpected error: %v", err)
@@ -245,7 +246,7 @@ func TestUnknownRoundKey(t *testing.T) {
 	rng := rand.New(rand.NewSource(147))
 	data, _ := testData(rng, 18, 6)
 	m, _ := NewMaster(f, paperOpts(1, 1, true), data, nil, nil)
-	if _, err := m.RunRound("nope", f.RandVec(rng, 6), 0); err == nil {
+	if _, err := m.RunRound(context.Background(), "nope", f.RandVec(rng, 6), 0); err == nil {
 		t.Fatal("unknown key accepted")
 	}
 }
@@ -261,7 +262,7 @@ func TestStragglersNotWaitedFor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.RunRound("fwd", f.RandVec(rng, 300), 0)
+	out, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 300), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestBreakdownConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(149))
 	data, _ := testData(rng, 36, 12)
 	m, _ := NewMaster(f, paperOpts(1, 1, true), data, nil, nil)
-	out, err := m.RunRound("fwd", f.RandVec(rng, 12), 0)
+	out, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 12), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,13 +310,13 @@ func TestVerifyTrialsAmplification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.RunRound("fwd", f.RandVec(rng, 6), 0)
+	out, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 6), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Verify time must scale with trials: compare against a 1-trial master.
 	m1, _ := NewMaster(f, paperOpts(1, 1, true), data, nil, nil)
-	out1, err := m1.RunRound("fwd", f.RandVec(rng, 6), 0)
+	out1, err := m1.RunRound(context.Background(), "fwd", f.RandVec(rng, 6), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,11 +337,11 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		}
 		return m
 	}
-	a, err := run().RunRound("fwd", w, 0)
+	a, err := run().RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := run().RunRound("fwd", w, 0)
+	b, err := run().RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestOverProvisionedDegreeStillDecodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package avcc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestQuarantineRemovesByzantineAndShrinksN(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	if _, err := m.RunRound("fwd", w, 0); err != nil {
+	if _, err := m.RunRound(context.Background(), "fwd", w, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Quarantine alone is free: the slack A_t = 11 − 2 − 9 = 0 keeps K, so
@@ -41,7 +42,7 @@ func TestQuarantineRemovesByzantineAndShrinksN(t *testing.T) {
 		}
 	}
 	// The next round must still decode correctly on the recoded cluster.
-	out, err := m.RunRound("fwd", w, 1)
+	out, err := m.RunRound(context.Background(), "fwd", w, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig5ScenarioRecodesTo11_8(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 120)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig5ScenarioRecodesTo11_8(t *testing.T) {
 	}
 	// After the re-code, 8 of the 11 active workers are non-stragglers:
 	// decode must not wait for any straggler.
-	out, err = m.RunRound("fwd", w, 1)
+	out, err = m.RunRound(context.Background(), "fwd", w, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestStaticVCCNeverRecodes(t *testing.T) {
 	}
 	w := f.RandVec(rng, 6)
 	for iter := 0; iter < 3; iter++ {
-		out, err := m.RunRound("fwd", w, iter)
+		out, err := m.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestNoRecodeWhenNothingObserved(t *testing.T) {
 	rng := rand.New(rand.NewSource(163))
 	data, _ := testData(rng, 18, 6)
 	m, _ := NewMaster(f, paperOpts(1, 1, true), data, nil, nil)
-	if _, err := m.RunRound("fwd", f.RandVec(rng, 6), 0); err != nil {
+	if _, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 6), 0); err != nil {
 		t.Fatal(err)
 	}
 	// No stragglers, no Byzantines: slack A_t = 12 − 0 − 9 = 3 ≥ 0.
@@ -170,7 +171,7 @@ func TestPregeneratedCodingsCheaper(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.RunRound("fwd", f.RandVec(rng, 120), 0); err != nil {
+		if _, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 120), 0); err != nil {
 			t.Fatal(err)
 		}
 		cost, recoded := m.FinishIteration(0)
@@ -201,7 +202,7 @@ func TestRepeatedAdaptationEventuallyStable(t *testing.T) {
 	w := f.RandVec(rng, 8)
 	want := fieldmat.MatVec(f, x, w)
 	for iter := 0; iter < 6; iter++ {
-		out, err := m.RunRound("fwd", w, iter)
+		out, err := m.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}

@@ -1,6 +1,7 @@
 package avcc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func TestPrivateModeDecodesExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestPrivateModeByzantineStillCaught(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestMasterOverGoExecutor(t *testing.T) {
 	w := f.RandVec(rng, 8)
 	want := fieldmat.MatVec(f, x, w)
 	for iter := 0; iter < 2; iter++ {
-		out, err := m.RunRound("fwd", w, iter)
+		out, err := m.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/attack"
+	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/simnet"
@@ -63,7 +65,7 @@ func TestLCCHonestDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestLCCOneByzantineCorrected(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestLCCTwoByzantinesSilentlyCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestLCCWaitsForStragglersBeyondBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.RunRound("fwd", f.RandVec(rng, 120), 0)
+	out, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 120), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestLCCVerifyPhaseIsZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(175))
 	data, _ := testData(rng, 18, 6)
 	m, _ := NewLCCMaster(f, lccOpts(1, 1), data, nil, nil)
-	out, err := m.RunRound("fwd", f.RandVec(rng, 6), 0)
+	out, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 6), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +193,7 @@ func TestLCCUnknownKey(t *testing.T) {
 	rng := rand.New(rand.NewSource(177))
 	data, _ := testData(rng, 18, 6)
 	m, _ := NewLCCMaster(f, lccOpts(1, 1), data, nil, nil)
-	if _, err := m.RunRound("nope", f.RandVec(rng, 6), 0); err == nil {
+	if _, err := m.RunRound(context.Background(), "nope", f.RandVec(rng, 6), 0); err == nil {
 		t.Fatal("unknown key accepted")
 	}
 }
@@ -204,7 +206,7 @@ func TestUncodedHonest(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestUncodedByzantineCorruptsOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 6)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +260,7 @@ func TestUncodedWaitsForEveryStraggler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.RunRound("fwd", f.RandVec(rng, 120), 0)
+	out, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 120), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func TestUncodedValidation(t *testing.T) {
 		t.Fatal("behaviour mismatch accepted")
 	}
 	m, _ := NewUncodedMaster(f, UncodedOptions{K: 9, Sim: quietSim()}, data, nil, nil)
-	if _, err := m.RunRound("nope", f.RandVec(rng, 6), 0); err == nil {
+	if _, err := m.RunRound(context.Background(), "nope", f.RandVec(rng, 6), 0); err == nil {
 		t.Fatal("unknown key accepted")
 	}
 	if m.Name() != "uncoded" {
@@ -298,7 +300,7 @@ func TestUncodedPadding(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := f.RandVec(rng, 5)
-	out, err := m.RunRound("fwd", w, 0)
+	out, err := m.RunRound(context.Background(), "fwd", w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +309,26 @@ func TestUncodedPadding(t *testing.T) {
 	}
 	if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, w)) {
 		t.Fatal("padded uncoded result wrong")
+	}
+}
+
+// deadExecutor returns no results at all: every worker crashed or dropped.
+type deadExecutor struct{}
+
+func (deadExecutor) RunRound(context.Context, string, []field.Elem, int, int, []int) []cluster.Result {
+	return nil
+}
+
+func TestLCCZeroArrivalsErrorsInsteadOfPanicking(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	x := fieldmat.Rand(f, rng, 36, 6)
+	m, err := NewLCCMaster(f, LCCOptions{N: 12, K: 9, S: 1, M: 1, Sim: simnet.DefaultConfig(), Seed: 1},
+		map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetExecutor(deadExecutor{})
+	if _, err := m.RunRound(context.Background(), "fwd", f.RandVec(rng, 6), 0); err == nil {
+		t.Fatal("a round with zero arrivals must error, not decode")
 	}
 }

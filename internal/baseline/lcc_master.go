@@ -5,6 +5,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -108,23 +109,47 @@ func (m *LCCMaster) Workers() []*cluster.Worker { return m.workers }
 func (m *LCCMaster) Name() string { return "lcc" }
 
 // RunRound implements cluster.Master: wait for the first N−S arrivals, then
-// decode with an M-error budget.
-func (m *LCCMaster) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+// decode with an M-error budget. It is the batch-of-one projection of
+// RunRoundBatch.
+func (m *LCCMaster) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := m.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+// RunRoundBatch implements cluster.Master: one broadcast of the packed
+// inputs, one Reed–Solomon decode over the stacked results (the
+// error-locating projection sees every vector of the batch at once, so a
+// worker corrupting ANY column is located by the same single solve).
+func (m *LCCMaster) RunRoundBatch(ctx context.Context, key string, inputs [][]field.Elem, iter int) (*cluster.BatchOutput, error) {
 	if _, ok := m.origRows[key]; !ok {
 		return nil, fmt.Errorf("baseline: unknown round key %q", key)
 	}
+	packed, _, err := cluster.PackInputs(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	batch := len(inputs)
 	active := make([]int, m.opt.N)
 	for i := range active {
 		active[i] = i
 	}
-	results := m.exec.RunRound(key, input, iter, active)
+	results := m.exec.RunRound(ctx, key, packed, batch, iter, active)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: round cancelled: %w", err)
+	}
 	wait := m.opt.N - m.opt.S
 	if wait > len(results) {
 		wait = len(results)
 	}
+	if wait == 0 {
+		return nil, fmt.Errorf("baseline: no worker results arrived (all %d active workers crashed or dropped)", m.opt.N)
+	}
 	used := results[:wait]
 
-	out := &cluster.RoundOutput{StragglersObserved: len(results) - wait}
+	out := &cluster.BatchOutput{StragglersObserved: len(results) - wait}
 	var lastArrival, maxCompute, maxComm float64
 	workers := make([]int, wait)
 	outputs := make([][]field.Elem, wait)
@@ -145,17 +170,17 @@ func (m *LCCMaster) RunRound(key string, input []field.Elem, iter int) (*cluster
 		}
 	}
 
-	decoded, bad, err := m.code.DecodeConcatWithErrors(workers, outputs, m.opt.M, m.rng)
+	blocks, bad, err := m.code.DecodeWithErrors(workers, outputs, m.opt.M, m.rng)
 	threshold := m.code.Threshold()
 	// Reed–Solomon decode cost: one projection pass over all results, the
 	// Berlekamp–Welch solve (cubic in wait), and the interpolation pass.
 	decodeOps := float64(wait)*float64(len(outputs[0])) + // projection
 		float64(wait*wait*wait) + // BW linear system
-		float64(threshold)*float64(m.origRows[key]+threshold) // interpolation
+		float64(threshold)*float64(batch*m.origRows[key]+threshold) // interpolation
 	if err != nil {
 		// Over-budget corruption: fall back to erasure-only decoding on the
 		// fastest threshold results. Byzantine contributions pass through.
-		decoded, err = m.code.DecodeConcat(workers[:threshold], outputs[:threshold])
+		blocks, err = m.code.DecodeVectors(workers[:threshold], outputs[:threshold])
 		if err != nil {
 			return nil, fmt.Errorf("baseline: fallback decode: %w", err)
 		}
@@ -163,7 +188,7 @@ func (m *LCCMaster) RunRound(key string, input []field.Elem, iter int) (*cluster
 	}
 	decodeTime := m.opt.Sim.MasterTime(decodeOps)
 
-	out.Decoded = decoded[:m.origRows[key]]
+	out.Outputs = cluster.UnpackBlocks(blocks, batch, m.origRows[key])
 	out.Used = workers
 	for _, pos := range bad {
 		out.Byzantine = append(out.Byzantine, workers[pos])

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -86,16 +87,36 @@ func (m *UncodedMaster) Workers() []*cluster.Worker { return m.workers }
 func (m *UncodedMaster) Name() string { return "uncoded" }
 
 // RunRound implements cluster.Master: wait for every worker and concatenate
-// their block results in worker order.
-func (m *UncodedMaster) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+// their block results in worker order. It is the batch-of-one projection of
+// RunRoundBatch.
+func (m *UncodedMaster) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := m.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+// RunRoundBatch implements cluster.Master: one broadcast of the packed
+// inputs; every worker returns its block's results for the whole batch and
+// the master stitches them back per vector in worker order.
+func (m *UncodedMaster) RunRoundBatch(ctx context.Context, key string, inputs [][]field.Elem, iter int) (*cluster.BatchOutput, error) {
 	if _, ok := m.origRows[key]; !ok {
 		return nil, fmt.Errorf("baseline: unknown round key %q", key)
 	}
+	packed, _, err := cluster.PackInputs(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	batch := len(inputs)
 	active := make([]int, m.opt.K)
 	for i := range active {
 		active[i] = i
 	}
-	results := m.exec.RunRound(key, input, iter, active)
+	results := m.exec.RunRound(ctx, key, packed, batch, iter, active)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: round cancelled: %w", err)
+	}
 	// No redundancy means no erasure tolerance: a crashed worker's block is
 	// simply gone. Fail loudly rather than silently zero-filling the output.
 	if len(results) < m.opt.K {
@@ -103,19 +124,25 @@ func (m *UncodedMaster) RunRound(key string, input []field.Elem, iter int) (*clu
 			len(results), m.opt.K)
 	}
 
-	out := &cluster.RoundOutput{}
+	out := &cluster.BatchOutput{}
 	blockLen := m.blockRows[key]
-	concat := make([]field.Elem, m.opt.K*blockLen)
+	out.Outputs = make([][]field.Elem, batch)
+	concat := make([][]field.Elem, batch)
+	for c := range concat {
+		concat[c] = make([]field.Elem, m.opt.K*blockLen)
+	}
 	var lastArrival, maxCompute, maxComm float64
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("baseline: worker %d failed: %w", r.Worker, r.Err)
 		}
-		if len(r.Output) != blockLen {
+		if len(r.Output) != batch*blockLen {
 			return nil, fmt.Errorf("baseline: worker %d returned %d values, want %d",
-				r.Worker, len(r.Output), blockLen)
+				r.Worker, len(r.Output), batch*blockLen)
 		}
-		copy(concat[r.Worker*blockLen:], r.Output)
+		for c := 0; c < batch; c++ {
+			copy(concat[c][r.Worker*blockLen:], r.Output[c*blockLen:(c+1)*blockLen])
+		}
 		out.Used = append(out.Used, r.Worker)
 		if r.ArriveAt > lastArrival {
 			lastArrival = r.ArriveAt
@@ -127,7 +154,9 @@ func (m *UncodedMaster) RunRound(key string, input []field.Elem, iter int) (*clu
 			maxComm = r.CommSec
 		}
 	}
-	out.Decoded = concat[:m.origRows[key]]
+	for c := 0; c < batch; c++ {
+		out.Outputs[c] = concat[c][:m.origRows[key]]
+	}
 	out.Breakdown.Compute = maxCompute
 	out.Breakdown.Comm = maxComm
 	out.Breakdown.Wall = lastArrival // no verify, no decode

@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -56,6 +57,29 @@ func (MatVecOp) Apply(f *field.Field, shard *fieldmat.Matrix, input []field.Elem
 
 // Degree implements Op.
 func (MatVecOp) Degree() int { return 1 }
+
+// BatchOp is the optional interface of operations that can compute a whole
+// batch of packed inputs in one pass (input i at input[i*per : (i+1)*per],
+// output i at out[i*rows : (i+1)*rows]). Ops without it are applied once per
+// batch entry by Worker.Compute.
+type BatchOp interface {
+	ApplyBatch(f *field.Field, shard *fieldmat.Matrix, input []field.Elem, batch int) (out []field.Elem, ops float64, err error)
+}
+
+// ApplyBatch implements BatchOp: batch stacked matrix-vector products
+// Y = X̃·[w_1 … w_B] in one pass over the packed inputs, each through the
+// blocked zero-alloc kernel.
+func (MatVecOp) ApplyBatch(f *field.Field, shard *fieldmat.Matrix, input []field.Elem, batch int) ([]field.Elem, float64, error) {
+	if batch < 1 || len(input) != batch*shard.Cols {
+		return nil, 0, fmt.Errorf("cluster: batched matvec expects %d x %d inputs, got length %d",
+			batch, shard.Cols, len(input))
+	}
+	out := make([]field.Elem, batch*shard.Rows)
+	for i := 0; i < batch; i++ {
+		fieldmat.MatVecInto(f, out[i*shard.Rows:(i+1)*shard.Rows], shard, input[i*shard.Cols:(i+1)*shard.Cols])
+	}
+	return out, float64(batch) * float64(shard.Rows) * float64(shard.Cols), nil
+}
 
 // GramOp is the degree-2 operation G = X̃·X̃ᵀ, flattened row-major. The
 // broadcast input is ignored.
@@ -104,12 +128,36 @@ func (w *Worker) op(key string) Op {
 // key and passes it through the worker's behaviour. The returned ops count
 // is the honest computation's multiply-accumulate count — Byzantine workers
 // burn the same time; sending garbage is not faster.
-func (w *Worker) Compute(f *field.Field, key string, input []field.Elem, iter int) (out []field.Elem, ops float64, err error) {
+//
+// batch > 1 means input packs that many equal-length vectors (a batched
+// round); the op computes all of them in one pass — natively when it
+// implements BatchOp, otherwise entry by entry — and the packed result goes
+// through the behaviour once, as one message. batch <= 0 is treated as 1.
+func (w *Worker) Compute(f *field.Field, key string, input []field.Elem, batch, iter int) (out []field.Elem, ops float64, err error) {
 	shard, ok := w.Shards[key]
 	if !ok {
 		return nil, 0, fmt.Errorf("cluster: worker %d has no shard %q", w.ID, key)
 	}
-	honest, ops, err := w.op(key).Apply(f, shard, input)
+	op := w.op(key)
+	var honest []field.Elem
+	if batch <= 1 {
+		honest, ops, err = op.Apply(f, shard, input)
+	} else if bop, ok := op.(BatchOp); ok {
+		honest, ops, err = bop.ApplyBatch(f, shard, input, batch)
+	} else if len(input)%batch != 0 {
+		err = fmt.Errorf("cluster: packed input length %d not divisible by batch %d", len(input), batch)
+	} else {
+		per := len(input) / batch
+		for i := 0; i < batch; i++ {
+			part, partOps, perr := op.Apply(f, shard, input[i*per:(i+1)*per])
+			if perr != nil {
+				err = perr
+				break
+			}
+			honest = append(honest, part...)
+			ops += partOps
+		}
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: worker %d shard %q: %w", w.ID, key, err)
 	}
@@ -135,8 +183,14 @@ type Result struct {
 // results ordered by arrival. Workers that are crashed or whose messages
 // are lost (time-varying scenario state) simply have no result: erasures,
 // exactly what the codes are there to absorb.
+//
+// batch is the number of equal-length vectors packed into input (1 for a
+// plain round); every worker computes the whole batch in one pass and
+// returns one packed result. ctx bounds the round: once it is cancelled the
+// executor stops scheduling further work and returns whatever results have
+// already landed — the master turns the cancellation into its round error.
 type Executor interface {
-	RunRound(key string, input []field.Elem, iter int, active []int) []Result
+	RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []Result
 }
 
 // VirtualExecutor computes results eagerly and timestamps them with the
@@ -168,17 +222,22 @@ func NewVirtualExecutor(f *field.Field, cfg simnet.Config, workers []*Worker, st
 // RunRound implements Executor in virtual time. Crashed workers are skipped
 // outright; dropped results enter the event queue (the loss happens at what
 // would have been the arrival instant) but are filtered out of the returned
-// results, so both read as erasures to the master.
-func (e *VirtualExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []Result {
+// results, so both read as erasures to the master. Cancelling ctx stops the
+// eager per-worker computation early; already-computed results still drain
+// in arrival order (the master surfaces the cancellation itself).
+func (e *VirtualExecutor) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []Result {
 	dyn := e.Dynamics
 	q := simnet.NewQueue()
 	var dropped map[int]bool
 	for _, id := range active {
+		if ctx.Err() != nil {
+			break
+		}
 		if dyn != nil && dyn.Crashed(id, iter) {
 			continue
 		}
 		w := e.Workers[id]
-		out, ops, err := w.Compute(e.F, key, input, iter)
+		out, ops, err := w.Compute(e.F, key, input, batch, iter)
 		sendIn := e.Cfg.CommTime(len(input))
 		var compute, sendOut float64
 		if err == nil {
@@ -238,8 +297,10 @@ type GoExecutor struct {
 }
 
 // RunRound implements Executor with real concurrency; results are ordered
-// by actual completion time.
-func (e *GoExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []Result {
+// by actual completion time. Cancelling ctx returns immediately with the
+// results that have already landed; late workers finish in the background
+// and their results are discarded.
+func (e *GoExecutor) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []Result {
 	stragglers := e.Stragglers
 	if stragglers == nil {
 		stragglers = attack.NoStragglers{}
@@ -258,16 +319,20 @@ func (e *GoExecutor) RunRound(key string, input []field.Elem, iter int, active [
 			defer wg.Done()
 			w := e.Workers[id]
 			t0 := time.Now()
-			out, _, err := w.Compute(e.F, key, input, iter)
+			out, _, err := w.Compute(e.F, key, input, batch, iter)
 			if stragglers.IsStraggler(id, iter) {
-				time.Sleep(e.StragglerDelay)
+				if !sleepCtx(ctx, e.StragglerDelay) {
+					return
+				}
 			}
 			if dyn != nil {
 				// Compute slowdown and link degradation both stretch this
 				// worker's wall time; StragglerDelay is the unit for each.
 				slow := (dyn.ComputeFactor(id, iter) - 1) + (dyn.LinkFactor(id, iter) - 1)
 				if slow > 0 {
-					time.Sleep(time.Duration(float64(e.StragglerDelay) * slow))
+					if !sleepCtx(ctx, time.Duration(float64(e.StragglerDelay)*slow)) {
+						return
+					}
 				}
 				if dyn.Dropped(id, iter) {
 					return // computed, but the message never arrives
@@ -285,7 +350,30 @@ func (e *GoExecutor) RunRound(key string, input []field.Elem, iter int, active [
 			mu.Unlock()
 		}(id)
 	}
-	wg.Wait()
-	sort.Slice(results, func(i, j int) bool { return results[i].ArriveAt < results[j].ArriveAt })
-	return results
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	mu.Lock()
+	snapshot := append([]Result(nil), results...)
+	mu.Unlock()
+	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].ArriveAt < snapshot[j].ArriveAt })
+	return snapshot
+}
+
+// sleepCtx sleeps for d, returning false early if ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestWorkerComputeHonest(t *testing.T) {
 	shard := fieldmat.Rand(f, rng, 5, 7)
 	w.Shards["fwd"] = shard
 	in := f.RandVec(rng, 7)
-	out, ops, err := w.Compute(f, "fwd", in, 0)
+	out, ops, err := w.Compute(f, "fwd", in, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +47,10 @@ func TestWorkerComputeHonest(t *testing.T) {
 func TestWorkerComputeErrors(t *testing.T) {
 	w := NewWorker(0)
 	w.Shards["fwd"] = fieldmat.NewMatrix(2, 3)
-	if _, _, err := w.Compute(f, "missing", make([]field.Elem, 3), 0); err == nil {
+	if _, _, err := w.Compute(f, "missing", make([]field.Elem, 3), 1, 0); err == nil {
 		t.Fatal("missing shard accepted")
 	}
-	if _, _, err := w.Compute(f, "fwd", make([]field.Elem, 4), 0); err == nil {
+	if _, _, err := w.Compute(f, "fwd", make([]field.Elem, 4), 1, 0); err == nil {
 		t.Fatal("wrong input length accepted")
 	}
 }
@@ -60,7 +61,7 @@ func TestWorkerByzantineBehaviourApplied(t *testing.T) {
 	shard := fieldmat.Rand(f, rng, 4, 4)
 	w.Shards["fwd"] = shard
 	w.Behavior = attack.Constant{V: 8}
-	out, _, err := w.Compute(f, "fwd", f.RandVec(rng, 4), 0)
+	out, _, err := w.Compute(f, "fwd", f.RandVec(rng, 4), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestVirtualExecutorArrivalOrderAndCorrectness(t *testing.T) {
 	ex := NewVirtualExecutor(f, cfg, workers, attack.NewFixedStragglers(2), 1)
 	in := f.RandVec(rng, 8)
 	active := []int{0, 1, 2, 3, 4, 5}
-	results := ex.RunRound("fwd", in, 0, active)
+	results := ex.RunRound(context.Background(), "fwd", in, 1, 0, active)
 	if len(results) != 6 {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -107,7 +108,7 @@ func TestVirtualExecutorDeterminism(t *testing.T) {
 	in := f.RandVec(rng, 6)
 	run := func() []Result {
 		ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 99)
-		return ex.RunRound("fwd", in, 0, []int{0, 1, 2, 3, 4})
+		return ex.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 2, 3, 4})
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -121,7 +122,7 @@ func TestVirtualExecutorActiveSubset(t *testing.T) {
 	rng := rand.New(rand.NewSource(134))
 	workers, _ := buildWorkers(t, rng, 6, 4, 4)
 	ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 7)
-	results := ex.RunRound("fwd", f.RandVec(rng, 4), 0, []int{1, 3, 5})
+	results := ex.RunRound(context.Background(), "fwd", f.RandVec(rng, 4), 1, 0, []int{1, 3, 5})
 	if len(results) != 3 {
 		t.Fatalf("got %d results for 3 active workers", len(results))
 	}
@@ -141,7 +142,7 @@ func TestVirtualExecutorTimingComposition(t *testing.T) {
 	cfg.JitterFrac = 0
 	ex := NewVirtualExecutor(f, cfg, workers, nil, 1)
 	in := f.RandVec(rng, 8)
-	results := ex.RunRound("fwd", in, 0, []int{0, 1})
+	results := ex.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1})
 	for _, r := range results {
 		wantArrive := r.ComputeSec + r.CommSec
 		if diff := r.ArriveAt - wantArrive; diff > 1e-12 || diff < -1e-12 {
@@ -153,7 +154,7 @@ func TestVirtualExecutorTimingComposition(t *testing.T) {
 func TestVirtualExecutorWorkerError(t *testing.T) {
 	workers := []*Worker{NewWorker(0)} // no shards at all
 	ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 1)
-	results := ex.RunRound("fwd", []field.Elem{1}, 0, []int{0})
+	results := ex.RunRound(context.Background(), "fwd", []field.Elem{1}, 1, 0, []int{0})
 	if len(results) != 1 || results[0].Err == nil {
 		t.Fatal("worker error not propagated")
 	}
@@ -164,7 +165,7 @@ func TestGoExecutorMatchesVirtualOutputs(t *testing.T) {
 	workers, shards := buildWorkers(t, rng, 4, 6, 6)
 	in := f.RandVec(rng, 6)
 	ex := &GoExecutor{F: f, Workers: workers}
-	results := ex.RunRound("fwd", in, 0, []int{0, 1, 2, 3})
+	results := ex.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 2, 3})
 	if len(results) != 4 {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -191,7 +192,7 @@ func TestGoExecutorStragglerDelay(t *testing.T) {
 		Stragglers:     attack.NewFixedStragglers(1),
 		StragglerDelay: 50 * time.Millisecond,
 	}
-	results := ex.RunRound("fwd", f.RandVec(rng, 4), 0, []int{0, 1, 2})
+	results := ex.RunRound(context.Background(), "fwd", f.RandVec(rng, 4), 1, 0, []int{0, 1, 2})
 	if results[len(results)-1].Worker != 1 {
 		t.Fatalf("delayed worker should arrive last, got order ending in %d", results[len(results)-1].Worker)
 	}
@@ -238,7 +239,7 @@ func TestVirtualExecutorDynamics(t *testing.T) {
 		link:    map[int]float64{3: 5},
 	}
 	in := f.RandVec(rng, 8)
-	results := ex.RunRound("fwd", in, 0, []int{0, 1, 2, 3, 4})
+	results := ex.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 2, 3, 4})
 	// Crashed and dropped workers are erasures: absent from the results.
 	if len(results) != 3 {
 		t.Fatalf("got %d results, want 3 (one crash, one drop)", len(results))
@@ -285,7 +286,7 @@ func TestGoExecutorDynamics(t *testing.T) {
 			link:    map[int]float64{2: 2}, // and StragglerDelay x (2-1) more
 		},
 	}
-	results := ex.RunRound("fwd", f.RandVec(rng, 4), 0, []int{0, 1, 2, 3})
+	results := ex.RunRound(context.Background(), "fwd", f.RandVec(rng, 4), 1, 0, []int{0, 1, 2, 3})
 	if len(results) != 2 {
 		t.Fatalf("got %d results, want 2 (one crash, one drop)", len(results))
 	}
@@ -344,7 +345,7 @@ func TestWorkerCustomOpDispatch(t *testing.T) {
 	shard := fieldmat.Rand(f, rng, 3, 5)
 	w.Shards["gram"] = shard
 	w.Ops["gram"] = GramOp{}
-	out, _, err := w.Compute(f, "gram", nil, 0)
+	out, _, err := w.Compute(f, "gram", nil, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,154 @@ func TestWorkerCustomOpDispatch(t *testing.T) {
 	}
 	// Keys without a registered op default to matvec.
 	w.Shards["fwd"] = shard
-	if _, _, err := w.Compute(f, "fwd", f.RandVec(rng, 5), 0); err != nil {
+	if _, _, err := w.Compute(f, "fwd", f.RandVec(rng, 5), 1, 0); err != nil {
 		t.Fatal("default matvec dispatch broken:", err)
+	}
+}
+
+func TestPackInputsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	inputs := make([][]field.Elem, 4)
+	for i := range inputs {
+		inputs[i] = f.RandVec(rng, 6)
+	}
+	packed, per, err := PackInputs(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 6 || len(packed) != 24 {
+		t.Fatalf("packed (per=%d, len=%d), want (6, 24)", per, len(packed))
+	}
+	back := SplitPacked(packed, 4)
+	for i := range inputs {
+		if !field.EqualVec(back[i], inputs[i]) {
+			t.Fatalf("entry %d did not round-trip", i)
+		}
+	}
+	// A batch of one broadcasts the input slice itself, no copy.
+	single, _, err := PackInputs(inputs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &single[0] != &inputs[0][0] {
+		t.Fatal("batch-of-one should alias the input")
+	}
+}
+
+func TestPackInputsRejectsEmptyAndRagged(t *testing.T) {
+	if _, _, err := PackInputs(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	ragged := [][]field.Elem{make([]field.Elem, 3), make([]field.Elem, 2)}
+	if _, _, err := PackInputs(ragged); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+}
+
+func TestMatVecOpApplyBatchMatchesPerVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	shard := fieldmat.Rand(f, rng, 7, 5)
+	inputs := make([][]field.Elem, 3)
+	for i := range inputs {
+		inputs[i] = f.RandVec(rng, 5)
+	}
+	packed, _, err := PackInputs(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ops, err := MatVecOp{}.ApplyBatch(f, shard, packed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 3*7*5 {
+		t.Fatalf("ops = %g, want %d", ops, 3*7*5)
+	}
+	for i, in := range inputs {
+		want := fieldmat.MatVec(f, shard, in)
+		if !field.EqualVec(out[i*7:(i+1)*7], want) {
+			t.Fatalf("batched column %d differs from its matvec", i)
+		}
+	}
+	if _, _, err := (MatVecOp{}).ApplyBatch(f, shard, packed[:14], 3); err == nil {
+		t.Fatal("short packed input accepted")
+	}
+}
+
+func TestWorkerComputeBatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	w := NewWorker(0)
+	shard := fieldmat.Rand(f, rng, 4, 6)
+	w.Shards["fwd"] = shard
+	inputs := [][]field.Elem{f.RandVec(rng, 6), f.RandVec(rng, 6)}
+	packed, _, err := PackInputs(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ops, err := w.Compute(f, "fwd", packed, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 2*4*6 {
+		t.Fatalf("ops = %g", ops)
+	}
+	for i, in := range inputs {
+		if !field.EqualVec(out[i*4:(i+1)*4], fieldmat.MatVec(f, shard, in)) {
+			t.Fatalf("batched worker output %d wrong", i)
+		}
+	}
+}
+
+func TestVirtualExecutorBatchedRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	workers, shards := buildWorkers(t, rng, 3, 5, 4)
+	ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 9)
+	inputs := [][]field.Elem{f.RandVec(rng, 4), f.RandVec(rng, 4), f.RandVec(rng, 4)}
+	packed, _, err := PackInputs(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := ex.RunRound(context.Background(), "fwd", packed, 3, 0, []int{0, 1, 2})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		for c, in := range inputs {
+			want := fieldmat.MatVec(f, shards[r.Worker], in)
+			if !field.EqualVec(r.Output[c*5:(c+1)*5], want) {
+				t.Fatalf("worker %d batch entry %d wrong", r.Worker, c)
+			}
+		}
+	}
+}
+
+func TestVirtualExecutorCancelledContextStopsScheduling(t *testing.T) {
+	rng := rand.New(rand.NewSource(147))
+	workers, _ := buildWorkers(t, rng, 4, 4, 4)
+	ex := NewVirtualExecutor(f, simnet.DefaultConfig(), workers, nil, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := ex.RunRound(ctx, "fwd", f.RandVec(rng, 4), 1, 0, []int{0, 1, 2, 3})
+	if len(results) != 0 {
+		t.Fatalf("a pre-cancelled round computed %d results", len(results))
+	}
+}
+
+func TestGoExecutorCancelledContextReturnsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(148))
+	workers, _ := buildWorkers(t, rng, 3, 4, 4)
+	ex := &GoExecutor{
+		F: f, Workers: workers,
+		Stragglers:     attack.NewFixedStragglers(0, 1, 2),
+		StragglerDelay: 10 * time.Second,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results := ex.RunRound(ctx, "fwd", f.RandVec(rng, 4), 1, 0, []int{0, 1, 2})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled GoExecutor round took %v", elapsed)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results from a round whose workers all sleep 10s", len(results))
 	}
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -173,7 +174,7 @@ func trainAll(sc Scale, masters map[string]cluster.Master, ds *dataset.Data) (ma
 	f := field.Default()
 	out := make(map[string]*metrics.Series, len(masters))
 	for name, m := range masters {
-		series, _, err := logreg.TrainDistributed(f, m, ds, sc.Train)
+		series, _, err := logreg.TrainDistributed(context.Background(), f, m, ds, sc.Train)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: training %s: %w", name, err)
 		}

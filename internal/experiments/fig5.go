@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -70,7 +71,7 @@ func RunFig5(sc Scale) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		series, _, err := logreg.TrainDistributed(f, m, ds, sc.Train)
+		series, _, err := logreg.TrainDistributed(context.Background(), f, m, ds, sc.Train)
 		return series, err
 	}
 

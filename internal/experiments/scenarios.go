@@ -10,6 +10,7 @@ package experiments
 // automatically a row in this matrix.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -113,7 +114,7 @@ func runScenarioCell(f *field.Field, sc Scale, name, profile string, rounds int,
 			in = f.RandVec(inRng, x.Cols)
 			want = fieldmat.MatVec(f, x, in)
 		}
-		out, err := m.RunRound(key, in, iter)
+		out, err := m.RunRound(context.Background(), key, in, iter)
 		if err != nil {
 			return nil, fmt.Errorf("iter %d: %w", iter, err)
 		}

@@ -23,6 +23,7 @@
 package gavcc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -145,14 +146,14 @@ func (m *Master) Name() string { return "gavcc" }
 // Gram matrix of its own shard); Decoded is the K decoded b×b Gram blocks
 // flattened in block order, reshapeable via BlockRows. Callers that want the
 // blocks as matrices use Run directly.
-func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+func (m *Master) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
 	if key != GramKey {
 		return nil, fmt.Errorf("gavcc: unknown round key %q (the only round is %q)", key, GramKey)
 	}
 	if len(input) != 0 {
 		return nil, fmt.Errorf("gavcc: the %q round takes no input", GramKey)
 	}
-	res, err := m.Run(iter)
+	res, err := m.Run(ctx, iter)
 	if err != nil {
 		return nil, err
 	}
@@ -168,16 +169,55 @@ func (m *Master) RunRound(key string, input []field.Elem, iter int) (*cluster.Ro
 	return out, nil
 }
 
+// RunRoundBatch implements cluster.Master. The Gram round is input-free —
+// every batch entry asks for the identical computation — so the batch is
+// served by ONE coded round whose decoded output is shared by (not recomputed
+// for) every entry. Entries must all be empty, as in RunRound.
+func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field.Elem, iter int) (*cluster.BatchOutput, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("gavcc: empty batch")
+	}
+	for i, in := range inputs {
+		if len(in) != 0 {
+			return nil, fmt.Errorf("gavcc: the %q round takes no input (batch entry %d has %d elems)",
+				GramKey, i, len(in))
+		}
+	}
+	round, err := m.RunRound(ctx, key, nil, iter)
+	if err != nil {
+		return nil, err
+	}
+	out := &cluster.BatchOutput{
+		Outputs:            make([][]field.Elem, len(inputs)),
+		Breakdown:          round.Breakdown,
+		Used:               round.Used,
+		Byzantine:          round.Byzantine,
+		StragglersObserved: round.StragglersObserved,
+	}
+	// Each entry gets its own copy: Decoded is caller-private per the
+	// Future/RoundOutput contract (only the accounting slices are shared),
+	// so one caller post-processing its result in place must not corrupt
+	// what its batch neighbours read.
+	out.Outputs[0] = round.Decoded
+	for i := 1; i < len(out.Outputs); i++ {
+		out.Outputs[i] = field.CopyVec(round.Decoded)
+	}
+	return out, nil
+}
+
 // FinishIteration implements cluster.Master; the Gram master never re-codes.
 func (m *Master) FinishIteration(int) (float64, bool) { return 0, false }
 
 // Run executes one verified coded Gram round.
-func (m *Master) Run(iter int) (*Result, error) {
+func (m *Master) Run(ctx context.Context, iter int) (*Result, error) {
 	active := make([]int, m.opt.N)
 	for i := range active {
 		active[i] = i
 	}
-	results := m.exec.RunRound(GramKey, nil, iter, active)
+	results := m.exec.RunRound(ctx, GramKey, nil, 1, iter, active)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gavcc: round cancelled: %w", err)
+	}
 	threshold := m.code.Threshold()
 
 	out := &Result{}

@@ -1,6 +1,7 @@
 package gavcc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestHonestGramDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.Run(0)
+	out, err := m.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestGramWithByzantine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.Run(0)
+	out, err := m.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestGramWithStragglerSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.Run(0)
+	out, err := m.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestGramWithPrivacyMasks(t *testing.T) {
 			}
 		}
 	}
-	out, err := m.Run(0)
+	out, err := m.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestGramPadding(t *testing.T) {
 	if m.BlockRows() != 4 {
 		t.Fatalf("block rows %d, want 4", m.BlockRows())
 	}
-	out, err := m.Run(0)
+	out, err := m.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestGramTooManyByzantineFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(0); err == nil {
+	if _, err := m.Run(context.Background(), 0); err == nil {
 		t.Fatal("round succeeded without enough honest workers")
 	}
 }
@@ -220,8 +221,30 @@ func BenchmarkGramRound(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Run(i); err != nil {
+		if _, err := m.Run(context.Background(), i); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestRunRoundBatchOutputsAreIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	x := fieldmat.Rand(f, rng, 8, 6)
+	m, err := NewMaster(f, Options{N: 10, K: 4, S: 1, M: 1, Sim: simnet.DefaultConfig(), Seed: 2}, x, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.RunRoundBatch(context.Background(), GramKey, [][]field.Elem{nil, nil}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !field.EqualVec(out.Outputs[0], out.Outputs[1]) {
+		t.Fatal("gram batch entries should hold the same values")
+	}
+	// Decoded is caller-private: corrupting one entry must not leak into
+	// the other (they are coalesced strangers in the serving layer).
+	out.Outputs[0][0]++
+	if field.EqualVec(out.Outputs[0], out.Outputs[1]) {
+		t.Fatal("batch entries alias one backing array")
 	}
 }

@@ -12,6 +12,7 @@
 package linreg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -82,8 +83,9 @@ func (c TrainConfig) residualCap() float64 {
 }
 
 // TrainDistributed runs coded linear regression against any master built
-// over {"fwd": X, "bwd": Xᵀ}, regressing onto the dataset's labels.
-func TrainDistributed(f *field.Field, master cluster.Master, ds *dataset.Data, cfg TrainConfig) (*metrics.Series, *Model, error) {
+// over {"fwd": X, "bwd": Xᵀ}, regressing onto the dataset's labels. ctx
+// bounds the run exactly as in logreg.TrainDistributed.
+func TrainDistributed(ctx context.Context, f *field.Field, master cluster.Master, ds *dataset.Data, cfg TrainConfig) (*metrics.Series, *Model, error) {
 	if cfg.Iterations < 1 {
 		return nil, nil, fmt.Errorf("linreg: need at least one iteration")
 	}
@@ -109,7 +111,7 @@ func TrainDistributed(f *field.Field, master cluster.Master, ds *dataset.Data, c
 			}
 		}
 		wq := qw.QuantizeVec(model.W)
-		zOut, err := master.RunRound("fwd", wq, iter)
+		zOut, err := master.RunRound(ctx, "fwd", wq, iter)
 		if err != nil {
 			return nil, nil, fmt.Errorf("linreg: iter %d round 1: %w", iter, err)
 		}
@@ -128,7 +130,7 @@ func TrainDistributed(f *field.Field, master cluster.Master, ds *dataset.Data, c
 		}
 		eq := qe.QuantizeVec(e)
 
-		gOut, err := master.RunRound("bwd", eq, iter)
+		gOut, err := master.RunRound(ctx, "bwd", eq, iter)
 		if err != nil {
 			return nil, nil, fmt.Errorf("linreg: iter %d round 2: %w", iter, err)
 		}

@@ -1,6 +1,7 @@
 package linreg
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -85,7 +86,7 @@ func TestDistributedMatchesLocal(t *testing.T) {
 	cfg := DefaultTrainConfig()
 	cfg.Iterations = 8
 	master := mkMaster(t, ds, nil)
-	series, dist, err := TrainDistributed(f, master, ds, cfg)
+	series, dist, err := TrainDistributed(context.Background(), f, master, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestDistributedUnderByzantine(t *testing.T) {
 	master := mkMaster(t, ds, behaviors)
 	cfg := DefaultTrainConfig()
 	cfg.Iterations = 8
-	_, dist, err := TrainDistributed(f, master, ds, cfg)
+	_, dist, err := TrainDistributed(context.Background(), f, master, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +166,12 @@ func TestResidualCapValidation(t *testing.T) {
 	master := mkMaster(t, ds, nil)
 	cfg := DefaultTrainConfig()
 	cfg.ResidualCap = 1e12 // blows the field window
-	if _, _, err := TrainDistributed(f, master, ds, cfg); err == nil {
+	if _, _, err := TrainDistributed(context.Background(), f, master, ds, cfg); err == nil {
 		t.Fatal("overflowing residual cap accepted")
 	}
 	cfg = DefaultTrainConfig()
 	cfg.Iterations = 0
-	if _, _, err := TrainDistributed(f, master, ds, cfg); err == nil {
+	if _, _, err := TrainDistributed(context.Background(), f, master, ds, cfg); err == nil {
 		t.Fatal("0 iterations accepted")
 	}
 	if _, err := TrainLocal(ds, cfg); err == nil {

@@ -16,6 +16,7 @@
 package logreg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -127,8 +128,10 @@ func DefaultTrainConfig() TrainConfig {
 // TrainDistributed runs quantized logistic regression against any master
 // (AVCC, LCC, uncoded) and records the per-iteration convergence trace.
 // The master must have been constructed with data {"fwd": X, "bwd": Xᵀ}
-// over the same dataset (field-embedded).
-func TrainDistributed(f *field.Field, master cluster.Master, ds *dataset.Data, cfg TrainConfig) (*metrics.Series, *Model, error) {
+// over the same dataset (field-embedded). ctx bounds the whole run: both
+// coded rounds of every iteration inherit it, so cancelling it stops
+// training at the next round boundary with ctx's error.
+func TrainDistributed(ctx context.Context, f *field.Field, master cluster.Master, ds *dataset.Data, cfg TrainConfig) (*metrics.Series, *Model, error) {
 	if cfg.Iterations < 1 {
 		return nil, nil, fmt.Errorf("logreg: need at least one iteration")
 	}
@@ -167,7 +170,7 @@ func TrainDistributed(f *field.Field, master cluster.Master, ds *dataset.Data, c
 			}
 		}
 		wq := qw.QuantizeVec(model.W)
-		zOut, err := master.RunRound("fwd", wq, iter)
+		zOut, err := master.RunRound(ctx, "fwd", wq, iter)
 		if err != nil {
 			return nil, nil, fmt.Errorf("logreg: iter %d round 1: %w", iter, err)
 		}
@@ -183,7 +186,7 @@ func TrainDistributed(f *field.Field, master cluster.Master, ds *dataset.Data, c
 		eq := qe.QuantizeVec(e)
 
 		// Round 2: g = Xᵀ·e over the coded cluster.
-		gOut, err := master.RunRound("bwd", eq, iter)
+		gOut, err := master.RunRound(ctx, "bwd", eq, iter)
 		if err != nil {
 			return nil, nil, fmt.Errorf("logreg: iter %d round 2: %w", iter, err)
 		}

@@ -1,6 +1,7 @@
 package logreg
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestDistributedMatchesLocalReference(t *testing.T) {
 	cfg := DefaultTrainConfig()
 	cfg.Iterations = 10
 	master := avccMaster(t, ds, 1, 1, nil, nil)
-	series, distModel, err := TrainDistributed(f, master, ds, cfg)
+	series, distModel, err := TrainDistributed(context.Background(), f, master, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestDistributedUnderAttackStillLearns(t *testing.T) {
 	master := avccMaster(t, ds, 1, 2, behaviors, nil)
 	cfg := DefaultTrainConfig()
 	cfg.Iterations = 10
-	series, model, err := TrainDistributed(f, master, ds, cfg)
+	series, model, err := TrainDistributed(context.Background(), f, master, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestUncodedUnderAttackDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cleanModel, err := TrainDistributed(f, clean, ds, cfg)
+	_, cleanModel, err := TrainDistributed(context.Background(), f, clean, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestUncodedUnderAttackDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, attackedModel, err := TrainDistributed(f, attacked, ds, cfg)
+	_, attackedModel, err := TrainDistributed(context.Background(), f, attacked, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestSeriesTimingMonotone(t *testing.T) {
 	master := avccMaster(t, ds, 1, 1, nil, nil)
 	cfg := DefaultTrainConfig()
 	cfg.Iterations = 5
-	series, _, err := TrainDistributed(f, master, ds, cfg)
+	series, _, err := TrainDistributed(context.Background(), f, master, ds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestSeriesTimingMonotone(t *testing.T) {
 func TestTrainValidation(t *testing.T) {
 	ds := smallData(t)
 	master := avccMaster(t, ds, 1, 1, nil, nil)
-	if _, _, err := TrainDistributed(f, master, ds, TrainConfig{Iterations: 0}); err == nil {
+	if _, _, err := TrainDistributed(context.Background(), f, master, ds, TrainConfig{Iterations: 0}); err == nil {
 		t.Fatal("0 iterations accepted")
 	}
 	if _, err := TrainLocal(ds, TrainConfig{Iterations: 0}); err == nil {

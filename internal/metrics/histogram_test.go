@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read as zeros")
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50 != 0 || snap.P99 != 0 || snap.Min != 0 || snap.Max != 0 {
+		t.Fatalf("empty snapshot %+v", snap)
+	}
+}
+
+func TestHistogramQuantilesWithinBucketError(t *testing.T) {
+	// The geometric buckets grow by 2^(1/4) ≈ 1.19 per step, so any
+	// quantile estimate must land within ~19% of the true order statistic.
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.NormFloat64()) * 1e-3 // log-normal around 1ms
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if got < want/1.25 || got > want*1.25 {
+			t.Fatalf("q=%g: histogram %g vs exact %g (off by more than a bucket)", q, got, want)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 10000 {
+		t.Fatalf("count %d", snap.Count)
+	}
+	if snap.P50 > snap.P90 || snap.P90 > snap.P99 || snap.P99 > snap.Max {
+		t.Fatalf("quantiles not monotone: %+v", snap)
+	}
+	if snap.Min <= 0 || snap.Max <= snap.Min {
+		t.Fatalf("min/max implausible: %+v", snap)
+	}
+}
+
+func TestHistogramIgnoresGarbage(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-1)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatal("negative/NaN samples recorded")
+	}
+	h.Observe(0) // zero is a legitimate (sub-resolution) sample
+	if h.Count() != 1 {
+		t.Fatal("zero sample dropped")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g+1) * 1e-4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramIgnoresInfinity(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.Inf(1))
+	if h.Count() != 0 {
+		t.Fatal("+Inf sample recorded")
+	}
+	h.Observe(1e-3)
+	if got := h.Mean(); math.IsInf(got, 0) || got != 1e-3 {
+		t.Fatalf("mean %g after an ignored Inf", got)
+	}
+}

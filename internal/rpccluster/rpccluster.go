@@ -10,6 +10,7 @@
 package rpccluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -23,10 +24,13 @@ import (
 )
 
 // ComputeArgs is the RPC request: apply the worker's shard for the round
-// key to the input vector.
+// key to the input vector. Batch > 1 means Input packs that many
+// equal-length vectors and the reply packs the matching outputs (a batched
+// round); 0 is read as 1 for wire-compatibility with single-vector clients.
 type ComputeArgs struct {
 	Key   string
 	Input []field.Elem
+	Batch int
 	Iter  int
 }
 
@@ -45,7 +49,11 @@ type WorkerService struct {
 // configured with one) is applied server-side, exactly as a compromised
 // machine would.
 func (s *WorkerService) Compute(args *ComputeArgs, reply *ComputeReply) error {
-	out, _, err := s.w.Compute(s.f, args.Key, args.Input, args.Iter)
+	batch := args.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	out, _, err := s.w.Compute(s.f, args.Key, args.Input, batch, args.Iter)
 	if err != nil {
 		return err
 	}
@@ -143,14 +151,18 @@ const DefaultCallTimeout = 30 * time.Second
 type RPCExecutor struct {
 	clients []*rpc.Client
 	ids     []int
-	// Timeout is the per-call deadline. A call that exceeds it — or fails
-	// at the transport layer (dead endpoint, severed connection) — yields
-	// no Result at all: the worker is reported missing, an erasure the
-	// master's code absorbs, exactly as the virtual executor models crashed
-	// workers. Worker-side application errors (e.g. a missing shard) still
-	// surface as Result.Err: the endpoint is alive and answered, so hiding
-	// its answer would mask deployment bugs. Zero means DefaultCallTimeout;
-	// negative disables the deadline.
+	// Timeout is the per-call deadline CAP. The effective deadline of each
+	// worker call derives from the round's context first: a caller deadline
+	// tighter than Timeout wins, and cancelling the context aborts every
+	// in-flight call of the round immediately. A call that exceeds its
+	// deadline — or fails at the transport layer (dead endpoint, severed
+	// connection) — yields no Result at all: the worker is reported missing,
+	// an erasure the master's code absorbs, exactly as the virtual executor
+	// models crashed workers. Worker-side application errors (e.g. a missing
+	// shard) still surface as Result.Err: the endpoint is alive and
+	// answered, so hiding its answer would mask deployment bugs. Zero means
+	// DefaultCallTimeout; negative leaves only the caller's context
+	// governing the call.
 	Timeout time.Duration
 }
 
@@ -190,27 +202,44 @@ func (e *RPCExecutor) Close() {
 // errCallTimeout marks a call that outlived the per-call deadline.
 var errCallTimeout = errors.New("rpccluster: call deadline exceeded")
 
-// callTimeout resolves the configured per-call deadline.
-func (e *RPCExecutor) callTimeout() time.Duration {
+// callTimeout resolves the effective per-call deadline: the configured cap
+// (Timeout, with 0 meaning DefaultCallTimeout and negative meaning no cap)
+// tightened by whatever deadline the round's context carries. The boolean
+// reports whether any deadline applies at all.
+func (e *RPCExecutor) callTimeout(ctx context.Context) (time.Duration, bool) {
+	limit := e.Timeout
+	has := true
 	switch {
-	case e.Timeout == 0:
-		return DefaultCallTimeout
-	case e.Timeout < 0:
-		return 0
-	default:
-		return e.Timeout
+	case limit == 0:
+		limit = DefaultCallTimeout
+	case limit < 0:
+		limit, has = 0, false
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); !has || rem < limit {
+			limit, has = rem, true
+		}
+	}
+	return limit, has
 }
 
-// call issues one worker RPC under the per-call deadline. On timeout the
-// pending call is abandoned (net/rpc keeps the goroutine until the client
-// closes); the caller treats the worker as missing.
-func (e *RPCExecutor) call(ci, id int, args *ComputeArgs, reply *ComputeReply) error {
+// call issues one worker RPC under the effective deadline (configured cap ∧
+// context deadline) and aborts on context cancellation. On timeout or
+// cancellation the pending call is abandoned (net/rpc keeps the goroutine
+// until the client closes); the caller treats the worker as missing.
+func (e *RPCExecutor) call(ctx context.Context, ci, id int, args *ComputeArgs, reply *ComputeReply) error {
 	c := e.clients[ci].Go(fmt.Sprintf("Worker%d.Compute", id), args, reply, make(chan *rpc.Call, 1))
-	timeout := e.callTimeout()
+	timeout, has := e.callTimeout(ctx)
+	if !has {
+		select {
+		case <-c.Done:
+			return c.Error
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	if timeout <= 0 {
-		<-c.Done
-		return c.Error
+		return errCallTimeout // deadline already in the past
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -219,15 +248,20 @@ func (e *RPCExecutor) call(ci, id int, args *ComputeArgs, reply *ComputeReply) e
 		return c.Error
 	case <-timer.C:
 		return errCallTimeout
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 // RunRound implements cluster.Executor: issue all calls concurrently under
-// per-call deadlines and order results by real completion time. Workers
-// whose calls time out or fail at the transport layer are omitted from the
-// results — erasures, matching the virtual executor's crash semantics — so
-// a dead endpoint costs the master one deadline instead of a hung round.
-func (e *RPCExecutor) RunRound(key string, input []field.Elem, iter int, active []int) []cluster.Result {
+// per-call deadlines derived from the caller's context and order results by
+// real completion time. Workers whose calls time out or fail at the
+// transport layer are omitted from the results — erasures, matching the
+// virtual executor's crash semantics — so a dead endpoint costs the master
+// one deadline instead of a hung round, and cancelling ctx releases the
+// whole round at once (the master reports the cancellation; the abandoned
+// replies are discarded).
+func (e *RPCExecutor) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []cluster.Result {
 	idx := make(map[int]int, len(e.ids))
 	for i, id := range e.ids {
 		idx[id] = i
@@ -247,10 +281,11 @@ func (e *RPCExecutor) RunRound(key string, input []field.Elem, iter int, active 
 			} else {
 				t0 := time.Now()
 				var reply ComputeReply
-				err := e.call(ci, id, &ComputeArgs{Key: key, Input: input, Iter: iter}, &reply)
+				err := e.call(ctx, ci, id, &ComputeArgs{Key: key, Input: input, Batch: batch, Iter: iter}, &reply)
 				var serverErr rpc.ServerError
 				if err != nil && !errors.As(err, &serverErr) {
-					// Timeout or transport failure: the endpoint is gone.
+					// Timeout, cancellation or transport failure: the
+					// endpoint is gone as far as this round is concerned.
 					// Report the worker missing rather than poisoning the
 					// round with an error the master cannot act on.
 					return

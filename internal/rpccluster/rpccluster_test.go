@@ -1,6 +1,8 @@
 package rpccluster
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -60,7 +62,7 @@ func TestRPCRoundTrip(t *testing.T) {
 		w.Shards["fwd"] = shards[i]
 	}
 	in := f.RandVec(rng, 8)
-	results := exec.RunRound("fwd", in, 0, []int{0, 1, 2, 3})
+	results := exec.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 2, 3})
 	if len(results) != 4 {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -82,7 +84,7 @@ func TestRPCRoundTrip(t *testing.T) {
 
 func TestRPCWorkerErrorPropagates(t *testing.T) {
 	_, exec := startCluster(t, 1) // worker 0 has no shards
-	results := exec.RunRound("missing", []field.Elem{1}, 0, []int{0})
+	results := exec.RunRound(context.Background(), "missing", []field.Elem{1}, 1, 0, []int{0})
 	if len(results) != 1 || results[0].Err == nil {
 		t.Fatal("expected an RPC-propagated worker error")
 	}
@@ -95,7 +97,7 @@ func TestRPCByzantineAppliedServerSide(t *testing.T) {
 		w.Shards["fwd"] = fieldmat.Rand(f, rng, 3, 3)
 	}
 	workers[1].Behavior = attack.Constant{V: 7}
-	results := exec.RunRound("fwd", f.RandVec(rng, 3), 0, []int{0, 1})
+	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 3), 1, 0, []int{0, 1})
 	for _, r := range results {
 		if r.Worker == 1 {
 			for _, v := range r.Output {
@@ -120,7 +122,7 @@ func TestRPCMissingWorkerConnection(t *testing.T) {
 	rng := rand.New(rand.NewSource(202))
 	workers, exec := startCluster(t, 1)
 	workers[0].Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
-	results := exec.RunRound("fwd", f.RandVec(rng, 2), 0, []int{0, 5})
+	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 5})
 	var missingErr bool
 	for _, r := range results {
 		if r.Worker == 5 && r.Err != nil {
@@ -146,7 +148,7 @@ func TestRPCCallDeadlineReportsWorkerMissing(t *testing.T) {
 	exec.Timeout = 100 * time.Millisecond
 
 	start := time.Now()
-	results := exec.RunRound("fwd", f.RandVec(rng, 2), 0, []int{0, 1, 2})
+	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("round took %v: the deadline did not bound the wedged call", elapsed)
 	}
@@ -201,7 +203,7 @@ func TestRPCServerKilledMidRoundBecomesErasure(t *testing.T) {
 	}()
 
 	start := time.Now()
-	results := exec.RunRound("fwd", f.RandVec(rng, 2), 0, []int{0, 1, 2})
+	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
 	if elapsed := time.Since(start); elapsed > 4*time.Second {
 		t.Fatalf("round took %v after the mid-round kill", elapsed)
 	}
@@ -262,13 +264,13 @@ func TestAVCCDecodesAroundAWorkerDiesIn(t *testing.T) {
 
 	w := f.RandVec(rng, 10)
 	want := fieldmat.MatVec(f, x, w)
-	if out, err := master.RunRound("fwd", w, 0); err != nil {
+	if out, err := master.RunRound(context.Background(), "fwd", w, 0); err != nil {
 		t.Fatal(err)
 	} else if !field.EqualVec(out.Decoded, want) {
 		t.Fatal("pre-crash round decoded wrong")
 	}
 	servers[7].Close() // the machine dies between rounds
-	out, err := master.RunRound("fwd", w, 1)
+	out, err := master.RunRound(context.Background(), "fwd", w, 1)
 	if err != nil {
 		t.Fatalf("round with a dead worker must still decode: %v", err)
 	}
@@ -282,6 +284,137 @@ func TestAVCCDecodesAroundAWorkerDiesIn(t *testing.T) {
 	}
 	if out.StragglersObserved < 1 {
 		t.Error("the dead worker should be observed as a straggler (an erasure)")
+	}
+}
+
+func TestRPCCancelMidRoundReleasesTheRound(t *testing.T) {
+	// Regression: the executor used to bound calls only by its private
+	// Timeout (default 30s) — a caller cancelling its context mid-round
+	// still waited out the full deadline. The per-call deadline must derive
+	// from the caller's context: cancellation releases the round
+	// immediately and the master reports the cancellation.
+	rng := rand.New(rand.NewSource(207))
+	workers, exec := startCluster(t, 3)
+	for _, w := range workers {
+		w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+	}
+	// All three workers wedge; only the context can end this round.
+	for _, w := range workers {
+		w.Behavior = stall{Delay: 20 * time.Second}
+	}
+	// Deliberately long private timeout: proof the context governs.
+	exec.Timeout = 30 * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results := exec.RunRound(ctx, "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled round took %v: context cancellation did not release it", elapsed)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results from a round cancelled before any reply", len(results))
+	}
+}
+
+func TestRPCContextDeadlineTightensPrivateTimeout(t *testing.T) {
+	// A caller deadline tighter than the configured Timeout must win.
+	rng := rand.New(rand.NewSource(208))
+	workers, exec := startCluster(t, 2)
+	for _, w := range workers {
+		w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+	}
+	workers[1].Behavior = stall{Delay: 20 * time.Second}
+	exec.Timeout = 30 * time.Second
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results := exec.RunRound(ctx, "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("round took %v: the context deadline did not tighten the 30s timeout", elapsed)
+	}
+	// The healthy worker answered inside the deadline; the wedged one is an
+	// erasure.
+	if len(results) != 1 || results[0].Worker != 0 {
+		t.Fatalf("want only worker 0's result, got %+v", results)
+	}
+}
+
+func TestAVCCCancelMidRoundSurfacesContextError(t *testing.T) {
+	// End to end through the master: cancelling the caller's context while
+	// every worker is wedged must surface ctx's error from RunRound, fast.
+	rng := rand.New(rand.NewSource(209))
+	workers, exec := startCluster(t, 12)
+	x := fieldmat.Rand(f, rng, 36, 10)
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(12, 9),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(44),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range master.Workers() {
+		workers[i].Shards["fwd"] = w.Shards["fwd"]
+		workers[i].Behavior = stall{Delay: 20 * time.Second}
+	}
+	master.SetExecutor(exec)
+	exec.Timeout = 30 * time.Second
+
+	// Explicit cancellation (not a deadline): once cancel() ran, ctx.Err()
+	// is set before any call can unblock on ctx.Done, so the master must
+	// deterministically report the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = master.RunRound(ctx, "fwd", f.RandVec(rng, 10), 0)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled master round took %v", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("master round error = %v, want the context's cancellation error", err)
+	}
+}
+
+func TestRPCBatchedRoundMatchesSequential(t *testing.T) {
+	// The Batch RPC field must round-trip: a batched call returns the
+	// packed per-vector products, byte-identical to per-vector calls.
+	rng := rand.New(rand.NewSource(210))
+	workers, exec := startCluster(t, 2)
+	shards := make([]*fieldmat.Matrix, 2)
+	for i, w := range workers {
+		shards[i] = fieldmat.Rand(f, rng, 4, 6)
+		w.Shards["fwd"] = shards[i]
+	}
+	const batch = 3
+	inputs := make([][]field.Elem, batch)
+	var packed []field.Elem
+	for c := range inputs {
+		inputs[c] = f.RandVec(rng, 6)
+		packed = append(packed, inputs[c]...)
+	}
+	results := exec.RunRound(context.Background(), "fwd", packed, batch, 0, []int{0, 1})
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		var want []field.Elem
+		for _, in := range inputs {
+			want = append(want, fieldmat.MatVec(f, shards[r.Worker], in)...)
+		}
+		if !field.EqualVec(r.Output, want) {
+			t.Fatalf("worker %d batched RPC output differs from sequential products", r.Worker)
+		}
 	}
 }
 
@@ -312,7 +445,7 @@ func TestAVCCMasterOverRealTCP(t *testing.T) {
 	w := f.RandVec(rng, 10)
 	want := fieldmat.MatVec(f, x, w)
 	for iter := 0; iter < 3; iter++ {
-		out, err := master.RunRound("fwd", w, iter)
+		out, err := master.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ package scenario_test
 // or time-seeded source breaks these tests immediately.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -107,7 +108,7 @@ func metricsFingerprint(t *testing.T, seed int64) string {
 	var b strings.Builder
 	for iter := 0; iter < 8; iter++ {
 		w := f.RandVec(rng, 120)
-		out, err := m.RunRound("fwd", w, iter)
+		out, err := m.RunRound(context.Background(), "fwd", w, iter)
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}

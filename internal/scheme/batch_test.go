@@ -1,0 +1,184 @@
+package scheme
+
+// The batched-round conformance property: for every registered scheme, ONE
+// RunRoundBatch over B inputs decodes bit-exactly what B sequential
+// RunRound calls decode. This is the contract the serving layer is built
+// on — coalescing requests into one coded round must be invisible to every
+// caller — and it must survive Byzantine workers (the stacked verification
+// filters them per round exactly as the per-vector check does).
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/gavcc"
+)
+
+// batchCase describes one scheme's deployment for the property test.
+type batchCase struct {
+	scheme string
+	n, k   int
+	key    string
+	// byzantine optionally marks one worker Byzantine (schemes with
+	// per-worker verification or error correction must still be exact).
+	byzantine bool
+}
+
+func batchCases() []batchCase {
+	return []batchCase{
+		{scheme: "avcc", n: 12, k: 9, key: "fwd", byzantine: true},
+		{scheme: "static-vcc", n: 12, k: 9, key: "fwd", byzantine: true},
+		{scheme: "lcc", n: 12, k: 9, key: "fwd", byzantine: true},
+		{scheme: "uncoded", n: 12, k: 9, key: "fwd"},
+		{scheme: "gavcc", n: 10, k: 4, key: gavcc.GramKey},
+	}
+}
+
+// buildBatchMaster constructs a fresh master for tc with a fixed seed so
+// the sequential and batched runs face identical deployments.
+func buildBatchMaster(t *testing.T, tc batchCase, x *fieldmat.Matrix) Master {
+	t.Helper()
+	var behaviors []attack.Behavior
+	if tc.byzantine {
+		n, err := WorkerCount(tc.scheme, NewConfig(WithCoding(tc.n, tc.k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		behaviors = make([]attack.Behavior, n)
+		for i := range behaviors {
+			behaviors[i] = attack.Honest{}
+		}
+		behaviors[tc.n-1] = attack.ReverseValue{C: 3}
+	}
+	m, err := New(tc.scheme, f, NewConfig(
+		WithCoding(tc.n, tc.k),
+		WithBudgets(1, 1, 0),
+		WithSeed(21),
+	), map[string]*fieldmat.Matrix{tc.key: x}, behaviors, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", tc.scheme, err)
+	}
+	return m
+}
+
+func TestBatchedRoundBitExactWithSequentialRounds(t *testing.T) {
+	const batch = 5
+	for _, tc := range batchCases() {
+		t.Run(tc.scheme, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(22))
+			var x *fieldmat.Matrix
+			if tc.key == gavcc.GramKey {
+				x = fieldmat.Rand(f, rng, 24, 16)
+			} else {
+				x = fieldmat.Rand(f, rng, 45, 12)
+			}
+			inputs := make([][]field.Elem, batch)
+			for c := range inputs {
+				if tc.key != gavcc.GramKey {
+					inputs[c] = f.RandVec(rng, x.Cols)
+				}
+			}
+
+			// Sequential reference: a fresh master, one RunRound per input,
+			// all at iter 0 (exactly the round the batch runs once).
+			seq := buildBatchMaster(t, tc, x)
+			want := make([][]field.Elem, batch)
+			for c, in := range inputs {
+				out, err := seq.RunRound(context.Background(), tc.key, in, 0)
+				if err != nil {
+					t.Fatalf("sequential round %d: %v", c, err)
+				}
+				want[c] = out.Decoded
+			}
+
+			// Batched run on an identically-seeded fresh master.
+			bm := buildBatchMaster(t, tc, x)
+			got, err := bm.RunRoundBatch(context.Background(), tc.key, inputs, 0)
+			if err != nil {
+				t.Fatalf("batched round: %v", err)
+			}
+			if len(got.Outputs) != batch {
+				t.Fatalf("batched round returned %d outputs, want %d", len(got.Outputs), batch)
+			}
+			for c := range inputs {
+				if !field.EqualVec(got.Outputs[c], want[c]) {
+					t.Fatalf("batch entry %d decodes differently from its sequential round", c)
+				}
+			}
+			if tc.byzantine {
+				switch tc.scheme {
+				case "avcc", "static-vcc":
+					// Per-worker verification: the Byzantine never enters
+					// the decode set.
+					for _, id := range got.Used {
+						if id == tc.n-1 {
+							t.Fatal("Byzantine worker contributed to the batched decode")
+						}
+					}
+				case "lcc":
+					// LCC waits for it (Used = waited-for workers) but the
+					// stacked Reed–Solomon decode must still locate it.
+					found := false
+					for _, id := range got.Byzantine {
+						if id == tc.n-1 {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatal("batched LCC decode failed to locate the Byzantine worker")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedRoundRejectsRaggedInputs pins the packing contract.
+func TestBatchedRoundRejectsRaggedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := fieldmat.Rand(f, rng, 36, 10)
+	m, err := New("avcc", f, NewConfig(WithSeed(24)), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ragged := [][]field.Elem{f.RandVec(rng, 10), f.RandVec(rng, 9)}
+	if _, err := m.RunRoundBatch(context.Background(), "fwd", ragged, 0); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	if _, err := m.RunRoundBatch(context.Background(), "fwd", nil, 0); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestRunRoundIsTheBatchOfOne: the single-vector path must be the exact
+// batch-of-one projection (same decode, same accounting).
+func TestRunRoundIsTheBatchOfOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	x := fieldmat.Rand(f, rng, 36, 10)
+	in := f.RandVec(rng, 10)
+	mk := func() Master {
+		m, err := New("avcc", f, NewConfig(WithSeed(26)), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	single, err := mk().RunRound(context.Background(), "fwd", in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := mk().RunRoundBatch(context.Background(), "fwd", [][]field.Elem{in}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !field.EqualVec(single.Decoded, batched.Outputs[0]) {
+		t.Fatal("batch-of-one decodes differently from RunRound")
+	}
+	if single.Breakdown != batched.Breakdown {
+		t.Fatalf("batch-of-one breakdown %v differs from RunRound's %v", batched.Breakdown, single.Breakdown)
+	}
+}

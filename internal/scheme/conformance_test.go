@@ -11,6 +11,7 @@ package scheme
 // re-code, observed through the Adaptive interface.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -116,7 +117,7 @@ func runConformance(t *testing.T, tc conformanceCase, profile string, rounds int
 	}
 	for iter := 0; iter < rounds; iter++ {
 		in := tc.input(f, rng, x)
-		out, err := m.RunRound(tc.key, in, iter)
+		out, err := m.RunRound(context.Background(), tc.key, in, iter)
 		if err != nil {
 			t.Fatalf("%s under %s, iter %d: %v", tc.scheme, profile, iter, err)
 		}

@@ -87,12 +87,17 @@ func WorkerCount(name string, cfg Config) (int, error) {
 
 // New constructs the named scheme's master. It is the single construction
 // path for every backend; callers never touch the per-package constructors.
-// When cfg.Scenario is set, the scenario is attached after construction —
-// uniformly, so a backend registered tomorrow is scenario-capable today.
+// cfg is validated first (typed *InvalidConfigError on rejection), so no
+// backend ever sees an impossible configuration. When cfg.Scenario is set,
+// the scenario is attached after construction — uniformly, so a backend
+// registered tomorrow is scenario-capable today.
 func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
 	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
 	e, err := lookup(name)
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	m, err := e.build(f, cfg, data, behaviors, stragglers)

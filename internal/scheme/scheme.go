@@ -30,9 +30,10 @@ import (
 )
 
 // Master is the interface every coded-computing backend implements. It
-// extends the protocol-side cluster.Master (Name, RunRound, FinishIteration)
-// with the deployment hooks real-transport runs need: swapping the executor
-// and reaching the worker objects that hold the encoded shards.
+// extends the protocol-side cluster.Master (Name, context-aware RunRound /
+// RunRoundBatch, FinishIteration) with the deployment hooks real-transport
+// runs need: swapping the executor and reaching the worker objects that
+// hold the encoded shards.
 type Master interface {
 	cluster.Master
 	// SetExecutor swaps the round executor (virtual-time simulation by

@@ -1,6 +1,7 @@
 package scheme
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -134,7 +135,7 @@ func TestSchemesAgreeOnHonestMatvec(t *testing.T) {
 			if m.Name() == "" {
 				t.Fatal("empty scheme name")
 			}
-			out, err := m.RunRound("fwd", w, 0)
+			out, err := m.RunRound(context.Background(), "fwd", w, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,7 +166,7 @@ func TestGavccThroughRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.RunRound(gavcc.GramKey, nil, 0)
+	out, err := m.RunRound(context.Background(), gavcc.GramKey, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,336 @@
+package scheme
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// echoMaster is a scriptable Master for queue-behaviour tests: every batch
+// entry resolves to its own input, rounds can be made to block, and batch
+// sizes are recorded.
+type echoMaster struct {
+	mu      sync.Mutex
+	batches []int
+	gate    chan struct{} // non-nil: every round waits for one receive
+	started chan struct{} // non-nil: signalled when a round begins
+}
+
+func (m *echoMaster) Name() string { return "echo" }
+
+func (m *echoMaster) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := m.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+func (m *echoMaster) RunRoundBatch(_ context.Context, key string, inputs [][]field.Elem, _ int) (*cluster.BatchOutput, error) {
+	if m.started != nil {
+		m.started <- struct{}{}
+	}
+	if m.gate != nil {
+		<-m.gate
+	}
+	if key == "fail" {
+		return nil, fmt.Errorf("echo: round failed")
+	}
+	m.mu.Lock()
+	m.batches = append(m.batches, len(inputs))
+	m.mu.Unlock()
+	out := &cluster.BatchOutput{Outputs: make([][]field.Elem, len(inputs))}
+	copy(out.Outputs, inputs)
+	return out, nil
+}
+
+func (m *echoMaster) FinishIteration(int) (float64, bool) { return 0, false }
+func (m *echoMaster) SetExecutor(cluster.Executor)        {}
+func (m *echoMaster) Workers() []*cluster.Worker          { return nil }
+
+func (m *echoMaster) batchSizes() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int(nil), m.batches...)
+}
+
+// TestServiceServesCorrectDecodes drives a real AVCC master through the
+// service from many goroutines and checks every future decodes the exact
+// product — the serving layer must be invisible to correctness.
+func TestServiceServesCorrectDecodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := fieldmat.Rand(f, rng, 36, 10)
+	m, err := New("avcc", f, NewConfig(WithSeed(31)), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(m, ServiceConfig{MaxBatch: 8, MaxLinger: 20 * time.Millisecond})
+	defer svc.Close(context.Background())
+
+	const requests = 24
+	type job struct {
+		in []field.Elem
+		fu *Future
+	}
+	jobs := make([]job, requests)
+	for i := range jobs {
+		jobs[i].in = f.RandVec(rng, 10)
+	}
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs[i].fu = svc.Submit(context.Background(), "fwd", jobs[i].in)
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		out, err := j.fu.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, j.in)) {
+			t.Fatalf("request %d decoded the wrong product", i)
+		}
+	}
+	stats := svc.Stats()
+	if stats.Requests != requests {
+		t.Fatalf("stats counted %d requests, want %d", stats.Requests, requests)
+	}
+	if stats.Rounds >= requests {
+		t.Fatalf("no coalescing: %d rounds for %d requests", stats.Rounds, requests)
+	}
+}
+
+func TestServiceRespectsMaxBatch(t *testing.T) {
+	em := &echoMaster{}
+	svc := NewService(em, ServiceConfig{MaxBatch: 4, MaxLinger: 20 * time.Millisecond})
+	defer svc.Close(context.Background())
+
+	futures := make([]*Future, 10)
+	for i := range futures {
+		futures[i] = svc.Submit(context.Background(), "k", []field.Elem{field.Elem(i)})
+	}
+	for _, fu := range futures {
+		if _, err := fu.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range em.batchSizes() {
+		if b > 4 {
+			t.Fatalf("round carried %d requests, MaxBatch is 4", b)
+		}
+	}
+}
+
+func TestServicePerTenantAccounting(t *testing.T) {
+	em := &echoMaster{}
+	svc := NewService(em, ServiceConfig{MaxBatch: 8, MaxLinger: time.Millisecond})
+	defer svc.Close(context.Background())
+
+	alice := WithTenant(context.Background(), "alice")
+	bob := WithTenant(context.Background(), "bob")
+	var fus []*Future
+	for i := 0; i < 6; i++ {
+		fus = append(fus, svc.Submit(alice, "k", []field.Elem{1}))
+	}
+	for i := 0; i < 3; i++ {
+		fus = append(fus, svc.Submit(bob, "k", []field.Elem{2}))
+	}
+	for _, fu := range fus {
+		if _, err := fu.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byName := map[string]TenantStats{}
+	for _, ts := range svc.Stats().Tenants {
+		byName[ts.Tenant] = ts
+	}
+	a, b := byName["alice"], byName["bob"]
+	if a.Submitted != 6 || a.Completed != 6 || a.Failed != 0 {
+		t.Fatalf("alice stats %+v", a)
+	}
+	if b.Submitted != 3 || b.Completed != 3 {
+		t.Fatalf("bob stats %+v", b)
+	}
+	if a.Latency.Count != 6 || b.Latency.Count != 3 {
+		t.Fatalf("latency sample counts (%d, %d), want (6, 3)", a.Latency.Count, b.Latency.Count)
+	}
+	if a.Latency.P50 <= 0 || a.Latency.P99 < a.Latency.P50 {
+		t.Fatalf("alice latency quantiles implausible: %+v", a.Latency)
+	}
+}
+
+func TestServiceRoundErrorFailsTheWholeBatch(t *testing.T) {
+	em := &echoMaster{}
+	svc := NewService(em, ServiceConfig{MaxBatch: 4, MaxLinger: time.Millisecond})
+	defer svc.Close(context.Background())
+
+	fu1 := svc.Submit(context.Background(), "fail", []field.Elem{1})
+	fu2 := svc.Submit(context.Background(), "fail", []field.Elem{2})
+	for _, fu := range []*Future{fu1, fu2} {
+		if _, err := fu.Wait(context.Background()); err == nil {
+			t.Fatal("failed round resolved a future without error")
+		}
+	}
+	for _, ts := range svc.Stats().Tenants {
+		if ts.Tenant == DefaultTenant && ts.Failed != 2 {
+			t.Fatalf("failed count %d, want 2", ts.Failed)
+		}
+	}
+}
+
+func TestServiceGracefulDrain(t *testing.T) {
+	em := &echoMaster{gate: make(chan struct{}, 64), started: make(chan struct{}, 64)}
+	svc := NewService(em, ServiceConfig{MaxBatch: 2, MaxLinger: time.Hour})
+
+	// Queue three requests; the first round blocks on the gate.
+	fus := []*Future{
+		svc.Submit(context.Background(), "k", []field.Elem{1}),
+		svc.Submit(context.Background(), "k", []field.Elem{2}),
+		svc.Submit(context.Background(), "k", []field.Elem{3}),
+	}
+	<-em.started // round 1 dispatched (full batch of 2 beat the linger)
+
+	// Close begins the drain: admission stops immediately...
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- svc.Close(context.Background()) }()
+	for { // wait for Close to flip admission off before probing it
+		svc.mu.Lock()
+		closed := svc.closed
+		svc.mu.Unlock()
+		if closed {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rejected := svc.Submit(context.Background(), "k", []field.Elem{4})
+	if _, err := rejected.Wait(context.Background()); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("post-Close submit got %v, want ErrServiceClosed", err)
+	}
+	// ... but queued work still completes (round 1, then the drained round
+	// for request 3 — which must NOT wait out the 1h linger).
+	em.gate <- struct{}{}
+	<-em.started
+	em.gate <- struct{}{}
+	for i, fu := range fus {
+		if _, err := fu.Wait(context.Background()); err != nil {
+			t.Fatalf("queued request %d failed during drain: %v", i, err)
+		}
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestServiceCloseHonoursContext(t *testing.T) {
+	em := &echoMaster{gate: make(chan struct{}), started: make(chan struct{}, 1)}
+	svc := NewService(em, ServiceConfig{MaxBatch: 1})
+	svc.Submit(context.Background(), "k", []field.Elem{1})
+	<-em.started // the round is now blocked on the gate
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := svc.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close under a stuck round returned %v, want the context error", err)
+	}
+	close(em.gate) // release the round so the dispatcher exits
+}
+
+func TestServiceQueueFullRejectsFast(t *testing.T) {
+	em := &echoMaster{gate: make(chan struct{}), started: make(chan struct{}, 1)}
+	svc := NewService(em, ServiceConfig{MaxBatch: 1, MaxPending: 1})
+
+	first := svc.Submit(context.Background(), "k", []field.Elem{1})
+	<-em.started // dispatched (queue empty again), round blocked
+	queued := svc.Submit(context.Background(), "k", []field.Elem{2})
+	overflow := svc.Submit(context.Background(), "k", []field.Elem{3})
+	if _, err := overflow.Wait(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit got %v, want ErrQueueFull", err)
+	}
+	close(em.gate)
+	for _, fu := range []*Future{first, queued} {
+		if _, err := fu.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close(context.Background())
+}
+
+func TestServiceDropsRequestsCancelledWhileQueued(t *testing.T) {
+	em := &echoMaster{gate: make(chan struct{}), started: make(chan struct{}, 2)}
+	svc := NewService(em, ServiceConfig{MaxBatch: 1})
+
+	first := svc.Submit(context.Background(), "k", []field.Elem{1})
+	<-em.started // round 1 blocked; anything submitted now queues behind it
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed := svc.Submit(ctx, "k", []field.Elem{2})
+	cancel()
+	em.gate <- struct{}{} // release round 1
+
+	if _, err := doomed.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled-while-queued request got %v, want context.Canceled", err)
+	}
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(em.gate)
+	svc.Close(context.Background())
+}
+
+// TestServiceDrivesAdaptation: the serving loop calls FinishIteration per
+// round, so AVCC's dynamic re-coding keeps working under serving traffic.
+type adaptingMaster struct {
+	echoMaster
+	recodes int
+}
+
+func (m *adaptingMaster) FinishIteration(int) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recodes++
+	return 0, true
+}
+
+func TestServiceCountsRecodes(t *testing.T) {
+	am := &adaptingMaster{}
+	svc := NewService(am, ServiceConfig{MaxBatch: 1})
+	fu := svc.Submit(context.Background(), "k", []field.Elem{1})
+	if _, err := fu.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close(context.Background())
+	if got := svc.Stats().Recodes; got != 1 {
+		t.Fatalf("stats recorded %d recodes, want 1", got)
+	}
+}
+
+func TestServiceEvictsWrongLengthRequestAlone(t *testing.T) {
+	// One client's wrong-sized input must fail alone: the neighbours riding
+	// the same coalesced round still decode.
+	em := &echoMaster{}
+	svc := NewService(em, ServiceConfig{MaxBatch: 4, MaxLinger: 5 * time.Millisecond})
+	defer svc.Close(context.Background())
+
+	good1 := svc.Submit(context.Background(), "k", []field.Elem{1, 2})
+	bad := svc.Submit(context.Background(), "k", []field.Elem{7})
+	good2 := svc.Submit(context.Background(), "k", []field.Elem{3, 4})
+	if _, err := bad.Wait(context.Background()); !errors.Is(err, ErrInputLength) {
+		t.Fatalf("wrong-length request got %v, want ErrInputLength", err)
+	}
+	for i, fu := range []*Future{good1, good2} {
+		if _, err := fu.Wait(context.Background()); err != nil {
+			t.Fatalf("well-formed request %d failed alongside the bad one: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package scheme
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fieldmat"
+	"repro/internal/simnet"
+)
+
+func TestValidateAcceptsTheDefaults(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsImpossibleConfigs(t *testing.T) {
+	badSim := simnet.Config{}
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"zero workers", NewConfig(WithCoding(0, 1)), "N"},
+		{"negative workers", NewConfig(WithCoding(-3, 1)), "N"},
+		{"zero blocks", NewConfig(WithCoding(12, 0)), "K"},
+		{"K exceeds N", NewConfig(WithCoding(9, 12)), "K"},
+		{"negative straggler budget", NewConfig(WithBudgets(-1, 1, 0)), "S"},
+		{"negative Byzantine budget", NewConfig(WithBudgets(1, -1, 0)), "M"},
+		{"negative privacy budget", NewConfig(WithBudgets(1, 1, -1)), "T"},
+		{"budgets exceed redundancy", NewConfig(WithCoding(12, 9), WithBudgets(2, 2, 0)), "S+M"},
+		{"zero degree", NewConfig(WithDegF(0)), "DegF"},
+		{"negative trials", NewConfig(WithVerifyTrials(-1)), "VerifyTrials"},
+		{"broken latency model", NewConfig(WithSim(badSim)), "Sim"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			var cfgErr *InvalidConfigError
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("error %v is not an *InvalidConfigError", err)
+			}
+			if cfgErr.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (%v)", cfgErr.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidConfigForEveryScheme pins the contract that
+// validation happens centrally in scheme.New — no backend constructor runs
+// on an impossible Config, and callers can errors.As the rejection
+// regardless of the scheme name.
+func TestNewRejectsInvalidConfigForEveryScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := fieldmat.Rand(f, rng, 36, 10)
+	bad := NewConfig(WithCoding(9, 12)) // K > N
+	for _, name := range Names() {
+		if _, err := New(name, f, bad, map[string]*fieldmat.Matrix{"fwd": x}, nil, nil); err == nil {
+			t.Fatalf("%s accepted K > N", name)
+		} else {
+			var cfgErr *InvalidConfigError
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("%s returned %v, want a typed *InvalidConfigError", name, err)
+			}
+		}
+	}
+}

@@ -54,6 +54,26 @@ func (k *Key) Check(input, result []field.Elem) bool {
 	return k.f.Dot(k.s, input) == k.f.Dot(k.r, result)
 }
 
+// CheckBatch verifies a whole batched claim Y = X̃·W in one Freivalds sweep
+// over the stacked matrices: with inputs packing the columns of W
+// (inputs[c·b:(c+1)·b]) and results packing the columns of Y, it accepts iff
+// s·W == r·Y componentwise — the matrix identity (r·X̃)·W = r·(X̃·W), checked
+// column by column with the SAME secret r, so a single corrupted column
+// fails the whole claim with probability ≥ 1 − 1/q. Cost: batch·O(a+b),
+// identical to the per-vector total, but one verdict and one pass.
+func (k *Key) CheckBatch(inputs, results []field.Elem, batch int) bool {
+	if batch < 1 || len(inputs) != batch*len(k.s) || len(results) != batch*len(k.r) {
+		return false // dimension mismatch can never be a valid claim
+	}
+	b, a := len(k.s), len(k.r)
+	for c := 0; c < batch; c++ {
+		if k.f.Dot(k.s, inputs[c*b:(c+1)*b]) != k.f.Dot(k.r, results[c*a:(c+1)*a]) {
+			return false
+		}
+	}
+	return true
+}
+
 // InputLen returns the expected input vector length (shard columns).
 func (k *Key) InputLen() int { return len(k.s) }
 
@@ -83,6 +103,17 @@ func NewAmplifiedKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix, tri
 func (a *AmplifiedKey) Check(input, result []field.Elem) bool {
 	for _, k := range a.keys {
 		if !k.Check(input, result) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckBatch accepts a batched claim only if every trial's stacked check
+// accepts (see Key.CheckBatch).
+func (a *AmplifiedKey) CheckBatch(inputs, results []field.Elem, batch int) bool {
+	for _, k := range a.keys {
+		if !k.CheckBatch(inputs, results, batch) {
 			return false
 		}
 	}

@@ -234,3 +234,53 @@ func BenchmarkKeyGen(b *testing.B) {
 		_ = NewKey(f, rng, shard)
 	}
 }
+
+func TestCheckBatchAcceptsHonestStacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	shard := fieldmat.Rand(f, rng, 8, 5)
+	key := NewKey(f, rng, shard)
+	const batch = 4
+	var inputs, results []field.Elem
+	for c := 0; c < batch; c++ {
+		x := f.RandVec(rng, 5)
+		inputs = append(inputs, x...)
+		results = append(results, fieldmat.MatVec(f, shard, x)...)
+	}
+	if !key.CheckBatch(inputs, results, batch) {
+		t.Fatal("honest batched claim rejected")
+	}
+	amp := NewAmplifiedKey(f, rng, shard, 3)
+	if !amp.CheckBatch(inputs, results, batch) {
+		t.Fatal("honest batched claim rejected by the amplified key")
+	}
+}
+
+func TestCheckBatchRejectsOneCorruptedColumn(t *testing.T) {
+	// A single wrong entry anywhere in the stacked claim must fail the
+	// whole batch: the serving layer trusts one verdict per worker.
+	rng := rand.New(rand.NewSource(105))
+	shard := fieldmat.Rand(f, rng, 8, 5)
+	key := NewKey(f, rng, shard)
+	const batch = 4
+	var inputs, results []field.Elem
+	for c := 0; c < batch; c++ {
+		x := f.RandVec(rng, 5)
+		inputs = append(inputs, x...)
+		results = append(results, fieldmat.MatVec(f, shard, x)...)
+	}
+	for trial := 0; trial < 100; trial++ {
+		bad := field.CopyVec(results)
+		pos := rng.Intn(len(bad))
+		bad[pos] = f.Add(bad[pos], f.RandNonZero(rng))
+		if key.CheckBatch(inputs, bad, batch) {
+			t.Fatal("corrupted batched claim accepted")
+		}
+	}
+	// Dimension mismatches can never be valid claims.
+	if key.CheckBatch(inputs[:len(inputs)-1], results, batch) {
+		t.Fatal("short input accepted")
+	}
+	if key.CheckBatch(inputs, results, batch+1) {
+		t.Fatal("wrong batch count accepted")
+	}
+}
