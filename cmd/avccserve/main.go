@@ -1,9 +1,10 @@
 // Command avccserve is the multi-tenant HTTP serving front end over the
 // coded-computing substrate: it deploys one coded master (any registered
-// scheme) and serves concurrent matvec solves through scheme.Service, which
-// coalesces them into batched verified rounds.
+// scheme, optionally sharded across independent worker groups) and serves
+// concurrent matvec solves through scheme.Service, which coalesces them
+// into batched verified rounds.
 //
-//	avccserve -addr :8080 -scheme avcc -rows 360 -cols 120 -batch 32
+//	avccserve -addr :8080 -scheme avcc -rows 360 -cols 120 -batch 32 -shards 2
 //
 // Endpoints:
 //
@@ -11,7 +12,9 @@
 //	                  → {"output": [...], "used": [...], "byzantine": [...]}
 //	                  The tenant is taken from the X-Tenant header.
 //	GET  /healthz     liveness probe
-//	GET  /statz       service + per-tenant metrics (JSON)
+//	GET  /statz       service + per-tenant metrics, plus a per-shard-group
+//	                  section (row span, worker count, live coding state)
+//	                  when the deployment is sharded (JSON)
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, queued rounds finish,
 // then the process exits.
@@ -33,6 +36,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/scheme"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -40,22 +44,133 @@ func main() {
 	schemeName := flag.String("scheme", "avcc", "registered scheme name")
 	rows := flag.Int("rows", 360, "model matrix rows")
 	cols := flag.Int("cols", 120, "model matrix cols")
-	n := flag.Int("n", 12, "worker count N")
+	n := flag.Int("n", 12, "worker count N per shard group")
 	k := flag.Int("k", 9, "code dimension K")
 	sBudget := flag.Int("s", 1, "straggler budget S")
 	mBudget := flag.Int("m", 1, "Byzantine budget M")
+	shards := flag.Int("shards", 1, "independent coded shard groups the rows are split across")
 	batch := flag.Int("batch", scheme.DefaultMaxBatch, "max requests coalesced per coded round")
 	linger := flag.Duration("linger", scheme.DefaultMaxLinger, "max wait to fill a round")
 	seed := flag.Int64("seed", 1, "seed for the synthetic model matrix and coding")
 	flag.Parse()
 
-	if err := run(*addr, *schemeName, *rows, *cols, *n, *k, *sBudget, *mBudget, *batch, *linger, *seed); err != nil {
+	if err := run(*addr, *schemeName, *rows, *cols, *n, *k, *sBudget, *mBudget, *shards, *batch, *linger, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, batch int, linger time.Duration, seed int64) error {
+// server is the HTTP layer over one serving deployment, extracted from run
+// so the endpoint behaviour is testable with httptest against any master
+// (real, sharded, or scripted).
+type server struct {
+	svc    *scheme.Service
+	master scheme.Master
+	f      *field.Field
+	cols   int
+}
+
+func newServer(svc *scheme.Service, master scheme.Master, f *field.Field, cols int) *server {
+	return &server{svc: svc, master: master, f: f, cols: cols}
+}
+
+// handler builds the endpoint mux.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matvec", s.matvec)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /statz", s.statz)
+	return mux
+}
+
+func (s *server) matvec(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Input []field.Elem `json:"input"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Input) != s.cols {
+		http.Error(w, fmt.Sprintf("input length %d, want %d", len(req.Input), s.cols), http.StatusBadRequest)
+		return
+	}
+	for i, v := range req.Input {
+		if uint64(v) >= s.f.Q() {
+			http.Error(w, fmt.Sprintf("input[%d] = %d outside the field", i, v), http.StatusBadRequest)
+			return
+		}
+	}
+	ctx := r.Context()
+	if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+		ctx = scheme.WithTenant(ctx, tenant)
+	}
+	out, err := s.svc.Submit(ctx, "fwd", req.Input).Wait(ctx)
+	switch {
+	case errors.Is(err, scheme.ErrServiceClosed), errors.Is(err, scheme.ErrQueueFull):
+		// Both are "not now": draining or MaxPending overflow. 503 tells
+		// load balancers to back off / retry elsewhere.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"output":    out.Decoded,
+		"used":      out.Used,
+		"byzantine": out.Byzantine,
+		"wall_sec":  out.Breakdown.Wall,
+	})
+}
+
+// shardStat is one shard group's /statz entry.
+type shardStat struct {
+	Group   int    `json:"group"`
+	Scheme  string `json:"scheme"`
+	Workers int    `json:"workers"`
+	// Spans maps each round key to this group's row range of that key.
+	Spans map[string]shard.Span `json:"spans"`
+	// Coding and Active report the group's LIVE adaptation state (present
+	// only for adaptive schemes): a group that re-coded under churn shows
+	// it here while the other groups stay at the deployment parameters.
+	Coding *[2]int `json:"coding,omitempty"`
+	Active *int    `json:"active,omitempty"`
+}
+
+func (s *server) statz(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"service": s.svc.Stats()}
+	if sm, ok := s.master.(*shard.Master); ok {
+		groups := make([]shardStat, sm.Groups())
+		for g := range groups {
+			gm := sm.Group(g)
+			st := shardStat{
+				Group:   g,
+				Scheme:  gm.Name(),
+				Workers: len(gm.Workers()),
+				Spans:   make(map[string]shard.Span),
+			}
+			for _, key := range sm.Keys() {
+				st.Spans[key] = sm.Plan(key).Spans[g]
+			}
+			if ad, ok := gm.(scheme.Adaptive); ok {
+				n, k := ad.Coding()
+				coding := [2]int{n, k}
+				active := len(ad.ActiveWorkers())
+				st.Coding, st.Active = &coding, &active
+			}
+			groups[g] = st
+		}
+		resp["shards"] = groups
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, batch int, linger time.Duration, seed int64) error {
 	f := field.Default()
 	rng := rand.New(rand.NewSource(seed))
 	x := fieldmat.Rand(f, rng, rows, cols)
@@ -64,6 +179,7 @@ func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, batch int,
 		scheme.WithCoding(n, k),
 		scheme.WithBudgets(sBudget, mBudget, 0),
 		scheme.WithSeed(seed),
+		scheme.WithShards(shards),
 	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 	if err != nil {
 		var cfgErr *scheme.InvalidConfigError
@@ -74,62 +190,12 @@ func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, batch int,
 	}
 	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: batch, MaxLinger: linger})
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/matvec", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Input []field.Elem `json:"input"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(req.Input) != cols {
-			http.Error(w, fmt.Sprintf("input length %d, want %d", len(req.Input), cols), http.StatusBadRequest)
-			return
-		}
-		for i, v := range req.Input {
-			if uint64(v) >= f.Q() {
-				http.Error(w, fmt.Sprintf("input[%d] = %d outside the field", i, v), http.StatusBadRequest)
-				return
-			}
-		}
-		ctx := r.Context()
-		if tenant := r.Header.Get("X-Tenant"); tenant != "" {
-			ctx = scheme.WithTenant(ctx, tenant)
-		}
-		out, err := svc.Submit(ctx, "fwd", req.Input).Wait(ctx)
-		switch {
-		case errors.Is(err, scheme.ErrServiceClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case errors.Is(err, scheme.ErrQueueFull):
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"output":    out.Decoded,
-			"used":      out.Used,
-			"byzantine": out.Byzantine,
-			"wall_sec":  out.Breakdown.Wall,
-		})
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(svc.Stats())
-	})
-
-	server := &http.Server{Addr: addr, Handler: mux}
+	srv := newServer(svc, master, f, cols)
+	server := &http.Server{Addr: addr, Handler: srv.handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	fmt.Printf("avccserve: %s over %q (%d,%d) serving %dx%d matvec on %s (batch <= %d, linger %v)\n",
-		master.Name(), schemeName, n, k, rows, cols, addr, batch, linger)
+	fmt.Printf("avccserve: %s over %q (%d,%d) x %d shard group(s) serving %dx%d matvec on %s (batch <= %d, linger %v)\n",
+		master.Name(), schemeName, n, k, max(shards, 1), rows, cols, addr, batch, linger)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,326 @@
+package main
+
+// End-to-end httptest suite for the serving front end: the handler is
+// exercised exactly as a client would — JSON over HTTP — against a real
+// sharded deployment for the data-path tests and against a scriptable
+// gated master for the admission/drain tests (overflow and drain behaviour
+// need a round that blocks on demand, which no real executor offers).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/scheme"
+)
+
+// newTestServer deploys a sharded AVCC master behind the HTTP handler.
+func newTestServer(t *testing.T, shards int) (*httptest.Server, *fieldmat.Matrix, *field.Field) {
+	t.Helper()
+	f := field.Default()
+	rng := rand.New(rand.NewSource(5))
+	x := fieldmat.Rand(f, rng, 120, 24)
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithSeed(5),
+		scheme.WithShards(shards),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: 8})
+	ts := httptest.NewServer(newServer(svc, master, f, x.Cols).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close(context.Background())
+	})
+	return ts, x, f
+}
+
+func postMatvec(t *testing.T, url, tenant string, input []field.Elem) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"input": input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/matvec", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMatvecRoundTrip(t *testing.T) {
+	ts, x, f := newTestServer(t, 2)
+	rng := rand.New(rand.NewSource(6))
+	in := f.RandVec(rng, x.Cols)
+
+	resp := postMatvec(t, ts.URL, "", in)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Output []field.Elem `json:"output"`
+		Used   []int        `json:"used"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !field.EqualVec(out.Output, fieldmat.MatVec(f, x, in)) {
+		t.Fatal("served output is not the exact matvec")
+	}
+	if len(out.Used) == 0 {
+		t.Fatal("response reports no contributing workers")
+	}
+}
+
+func TestMatvecRejectsBadInputs(t *testing.T) {
+	ts, x, f := newTestServer(t, 1)
+	short := make([]field.Elem, x.Cols-1)
+	if resp := postMatvec(t, ts.URL, "", short); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short input: status %d, want 400", resp.StatusCode)
+	}
+	outside := make([]field.Elem, x.Cols)
+	outside[0] = field.Elem(f.Q())
+	if resp := postMatvec(t, ts.URL, "", outside); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-field input: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/matvec", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// statzResponse mirrors the /statz JSON shape.
+type statzResponse struct {
+	Service struct {
+		Requests uint64 `json:"Requests"`
+		Tenants  []struct {
+			Tenant    string `json:"Tenant"`
+			Submitted uint64 `json:"Submitted"`
+			Completed uint64 `json:"Completed"`
+		} `json:"Tenants"`
+	} `json:"service"`
+	Shards []struct {
+		Group   int    `json:"group"`
+		Scheme  string `json:"scheme"`
+		Workers int    `json:"workers"`
+		Coding  []int  `json:"coding"`
+	} `json:"shards"`
+}
+
+func getStatz(t *testing.T, url string) statzResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestStatzIsolatesTenantsAndReportsShards(t *testing.T) {
+	ts, x, f := newTestServer(t, 2)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 3; i++ {
+		if resp := postMatvec(t, ts.URL, "alpha", f.RandVec(rng, x.Cols)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alpha request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if resp := postMatvec(t, ts.URL, "beta", f.RandVec(rng, x.Cols)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta request: status %d", resp.StatusCode)
+	}
+
+	stats := getStatz(t, ts.URL)
+	counts := map[string][2]uint64{}
+	for _, tn := range stats.Service.Tenants {
+		counts[tn.Tenant] = [2]uint64{tn.Submitted, tn.Completed}
+	}
+	if counts["alpha"] != [2]uint64{3, 3} {
+		t.Errorf("tenant alpha accounted %v, want 3 submitted / 3 completed", counts["alpha"])
+	}
+	if counts["beta"] != [2]uint64{1, 1} {
+		t.Errorf("tenant beta accounted %v, want 1 submitted / 1 completed", counts["beta"])
+	}
+	if _, leaked := counts["default"]; leaked {
+		t.Error("tenanted traffic leaked into the default tenant")
+	}
+
+	if len(stats.Shards) != 2 {
+		t.Fatalf("/statz reports %d shard groups, want 2", len(stats.Shards))
+	}
+	for g, sh := range stats.Shards {
+		if sh.Group != g || sh.Scheme != "avcc" || sh.Workers != 12 {
+			t.Errorf("shard %d reported as %+v, want group %d, avcc, 12 workers", g, sh, g)
+		}
+		if len(sh.Coding) != 2 || sh.Coding[0] != 12 || sh.Coding[1] != 9 {
+			t.Errorf("shard %d coding %v, want [12 9]", g, sh.Coding)
+		}
+	}
+}
+
+// gatedMaster blocks every round until the gate is released — the scripted
+// master behind the overflow and drain tests.
+type gatedMaster struct {
+	gate    chan struct{}
+	started chan struct{}
+	release sync.Once
+}
+
+// open releases the gate (idempotent).
+func (m *gatedMaster) open() { m.release.Do(func() { close(m.gate) }) }
+
+func (m *gatedMaster) Name() string                        { return "gated" }
+func (m *gatedMaster) SetExecutor(cluster.Executor)        {}
+func (m *gatedMaster) Workers() []*cluster.Worker          { return nil }
+func (m *gatedMaster) FinishIteration(int) (float64, bool) { return 0, false }
+
+func (m *gatedMaster) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := m.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+func (m *gatedMaster) RunRoundBatch(_ context.Context, _ string, inputs [][]field.Elem, _ int) (*cluster.BatchOutput, error) {
+	select {
+	case m.started <- struct{}{}:
+	default:
+	}
+	<-m.gate
+	out := &cluster.BatchOutput{Outputs: make([][]field.Elem, len(inputs))}
+	copy(out.Outputs, inputs)
+	return out, nil
+}
+
+// newGatedServer wires the gated master behind the handler with a
+// MaxPending-1 admission queue and no lingering.
+func newGatedServer(t *testing.T) (*httptest.Server, *gatedMaster, *scheme.Service) {
+	t.Helper()
+	m := &gatedMaster{gate: make(chan struct{}), started: make(chan struct{}, 1)}
+	svc := scheme.NewService(m, scheme.ServiceConfig{MaxBatch: 1, MaxLinger: -1, MaxPending: 1})
+	ts := httptest.NewServer(newServer(svc, m, field.Default(), 4).handler())
+	t.Cleanup(ts.Close)
+	return ts, m, svc
+}
+
+func TestMatvecReturns503OnQueueOverflow(t *testing.T) {
+	ts, m, svc := newGatedServer(t)
+	defer func() {
+		m.open() // drain whatever is still blocked
+		svc.Close(context.Background())
+	}()
+	input := []field.Elem{1, 2, 3, 4}
+
+	// First request: dequeued by the dispatcher, blocked at the gate.
+	codes := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		codes <- postMatvec(t, ts.URL, "", input).StatusCode
+	}()
+	select {
+	case <-m.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("the gated round never started")
+	}
+	// Second request: sits in the admission queue, filling it (MaxPending 1).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		codes <- postMatvec(t, ts.URL, "", input).StatusCode
+	}()
+	waitForPending(t, svc, 1)
+
+	// Third request: the queue is full — must be refused with 503.
+	if resp := postMatvec(t, ts.URL, "", input); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: status %d, want 503", resp.StatusCode)
+	}
+
+	// Opening the gate lets the two admitted requests finish normally.
+	m.open()
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("admitted request finished with status %d, want 200", code)
+		}
+	}
+}
+
+// waitForPending polls until the service's queue holds n requests.
+func waitForPending(t *testing.T, svc *scheme.Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if svc.Pending() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d pending requests", n)
+}
+
+func TestDrainResolvesInFlightRequests(t *testing.T) {
+	ts, m, svc := newGatedServer(t)
+	input := []field.Elem{5, 6, 7, 8}
+
+	codes := make(chan int, 1)
+	go func() { codes <- postMatvec(t, ts.URL, "", input).StatusCode }()
+	select {
+	case <-m.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("the gated round never started")
+	}
+
+	// SIGTERM-style drain: Close stops admission but must let the in-flight
+	// round finish and resolve its future. The gate opens only after the
+	// drain began, so a drain that abandoned in-flight work would hang or
+	// fail the request.
+	drainedErr := make(chan error, 1)
+	go func() { drainedErr <- svc.Close(context.Background()) }()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		m.open()
+	}()
+
+	if code := <-codes; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with status %d during drain, want 200", code)
+	}
+	if err := <-drainedErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// After the drain, admission is stopped: new requests get 503.
+	if resp := postMatvec(t, ts.URL, "", input); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+// FuzzPackSplit pins the batched-round packing layout: for any batch shape
+// the fuzzer produces, SplitPacked(PackInputs(inputs)) must reproduce the
+// inputs exactly, the packed length must be batch*per, and ragged batches
+// must be rejected with the offending entry named — the serving layer
+// relies on admission-time eviction instead of pack-time surprises.
+func FuzzPackSplit(fz *testing.F) {
+	fz.Add(3, 5, uint64(1))
+	fz.Add(1, 0, uint64(0))
+	fz.Add(16, 1, uint64(42))
+	fz.Add(2, 64, uint64(7))
+	fz.Fuzz(func(t *testing.T, batch, per int, seed uint64) {
+		if batch < 0 || batch > 64 || per < 0 || per > 256 {
+			t.Skip()
+		}
+		f := field.Default()
+		inputs := make([][]field.Elem, batch)
+		for i := range inputs {
+			inputs[i] = make([]field.Elem, per)
+			for j := range inputs[i] {
+				inputs[i][j] = f.Reduce(seed + uint64(i)*2654435761 + uint64(j)*40503)
+			}
+		}
+		packed, gotPer, err := PackInputs(inputs)
+		if batch == 0 {
+			if err == nil {
+				t.Fatal("empty batch packed without error")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("PackInputs(%dx%d): %v", batch, per, err)
+		}
+		if gotPer != per || len(packed) != batch*per {
+			t.Fatalf("PackInputs(%dx%d) = %d elements, per %d", batch, per, len(packed), gotPer)
+		}
+		split := SplitPacked(packed, batch)
+		if len(split) != batch {
+			t.Fatalf("SplitPacked returned %d vectors, want %d", len(split), batch)
+		}
+		for i := range split {
+			if !field.EqualVec(split[i], inputs[i]) {
+				t.Fatalf("entry %d does not round-trip", i)
+			}
+		}
+
+		// A ragged batch (one entry a row longer) must fail with the entry
+		// index in the error, and must never silently truncate.
+		if batch >= 2 {
+			ragged := make([][]field.Elem, batch)
+			copy(ragged, inputs)
+			ragged[batch-1] = append(append([]field.Elem(nil), inputs[batch-1]...), 1)
+			if _, _, err := PackInputs(ragged); err == nil {
+				t.Fatal("ragged batch packed without error")
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package scheme
+
+// The seeded chaos/soak test: 200 concurrent Submits across 4 tenants
+// against a SHARDED service whose groups live under the adversarial-wave
+// scenario, with mid-run context cancellations and an admission queue small
+// enough to force rejections. The assertions are the serving layer's
+// liveness and accounting invariants — every Future resolves (no leaks),
+// and the per-tenant counters and latency histograms reconcile exactly with
+// what was submitted — under precisely the concurrency the race detector
+// needs to see (the CI race job runs this test).
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/scenario"
+)
+
+func TestChaosShardedServiceSoak(t *testing.T) {
+	const (
+		chaosSeed = 99
+		submits   = 200
+	)
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+
+	f := field.Default()
+	rng := rand.New(rand.NewSource(chaosSeed))
+	x := fieldmat.Rand(f, rng, 240, 48)
+	scn, err := scenario.Profile(scenario.AdversarialWave, 12, 9, chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New("avcc", f, NewConfig(
+		WithSeed(chaosSeed),
+		WithShards(2),
+		WithSim(conformanceSim()),
+		WithScenario(scn),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(m, ServiceConfig{
+		MaxBatch:   16,
+		MaxLinger:  100 * time.Microsecond,
+		MaxPending: 64, // small enough that the burst can overflow admission
+	})
+
+	// Seeded chaos script: which submits carry a mid-run cancellation, and
+	// each submit's input, are decided up front so the run is replayable.
+	inputs := make([][]field.Elem, submits)
+	cancelled := make([]bool, submits)
+	for i := range inputs {
+		inputs[i] = f.RandVec(rng, x.Cols)
+		cancelled[i] = rng.Intn(5) == 0 // ~20% of requests abandon mid-run
+	}
+
+	guard, stopGuard := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer stopGuard()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		resolved  int
+		completed int
+		failed    int
+	)
+	for i := 0; i < submits; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := WithTenant(context.Background(), tenants[i%len(tenants)])
+			if cancelled[i] {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				go func() {
+					time.Sleep(time.Duration(i%7) * 50 * time.Microsecond)
+					cancel()
+				}()
+			}
+			fu := svc.Submit(ctx, "fwd", inputs[i])
+			// Wait on the guard, not the request ctx: a cancelled request
+			// must STILL resolve its future (with an error) — that is the
+			// no-leak contract under test.
+			out, err := fu.Wait(guard)
+			mu.Lock()
+			defer mu.Unlock()
+			if guard.Err() != nil {
+				return // the counting below flags the leak
+			}
+			resolved++
+			if err != nil {
+				failed++
+				return
+			}
+			completed++
+			if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, inputs[i])) {
+				t.Errorf("request %d: served decode under chaos is not the exact product", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if resolved != submits {
+		t.Fatalf("only %d of %d futures resolved within the guard window: futures leaked", resolved, submits)
+	}
+
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Accounting must reconcile exactly with what was submitted: nothing
+	// lost, nothing double-counted, across every tenant.
+	stats := svc.Stats()
+	var totSubmitted, totCompleted, totFailed, totRejected, totObserved uint64
+	for _, ts := range stats.Tenants {
+		if ts.Submitted != ts.Completed+ts.Failed+ts.Rejected {
+			t.Errorf("tenant %s: submitted %d != completed %d + failed %d + rejected %d",
+				ts.Tenant, ts.Submitted, ts.Completed, ts.Failed, ts.Rejected)
+		}
+		// Every completed or failed request passed through finish() exactly
+		// once, observing one latency sample; rejected requests never do.
+		if ts.Latency.Count != ts.Completed+ts.Failed {
+			t.Errorf("tenant %s: histogram holds %d samples, want completed %d + failed %d",
+				ts.Tenant, ts.Latency.Count, ts.Completed, ts.Failed)
+		}
+		totSubmitted += ts.Submitted
+		totCompleted += ts.Completed
+		totFailed += ts.Failed
+		totRejected += ts.Rejected
+		totObserved += ts.Latency.Count
+	}
+	if totSubmitted != submits {
+		t.Errorf("tenants account %d submits, want %d", totSubmitted, submits)
+	}
+	if int(totCompleted) != completed || int(totCompleted+totFailed+totRejected) != submits {
+		t.Errorf("counter reconciliation failed: completed %d (callers saw %d), failed %d, rejected %d, submits %d",
+			totCompleted, completed, totFailed, totRejected, submits)
+	}
+	// Stats.Requests counts only round-carried requests: every completed
+	// request rode a round; rejected requests and requests cancelled while
+	// queued never do. Hence the sandwich rather than an equality.
+	if stats.Requests < totCompleted || stats.Requests > totSubmitted-totRejected {
+		t.Errorf("rounds carried %d requests, want between completed %d and admitted %d",
+			stats.Requests, totCompleted, totSubmitted-totRejected)
+	}
+	if totObserved != totCompleted+totFailed {
+		t.Errorf("histograms hold %d samples, want %d", totObserved, totCompleted+totFailed)
+	}
+}

@@ -90,7 +90,10 @@ func WorkerCount(name string, cfg Config) (int, error) {
 // cfg is validated first (typed *InvalidConfigError on rejection), so no
 // backend ever sees an impossible configuration. When cfg.Scenario is set,
 // the scenario is attached after construction — uniformly, so a backend
-// registered tomorrow is scenario-capable today.
+// registered tomorrow is scenario-capable today. When cfg.Shards > 1 the
+// same applies per shard group: New splits the data row-wise, builds one
+// registry-backed master per group (each with its own seed stream and
+// scenario engine), and returns the fan-out master from internal/shard.
 func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
 	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
 	e, err := lookup(name)
@@ -99,6 +102,9 @@ func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matr
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return newSharded(e, name, f, cfg, data, behaviors, stragglers)
 	}
 	m, err := e.build(f, cfg, data, behaviors, stragglers)
 	if err != nil {

@@ -94,6 +94,11 @@ type Config struct {
 	// link degradation, and scenario-driven Byzantine flips. nil means the
 	// static world.
 	Scenario *scenario.Scenario
+	// Shards partitions the data matrix into that many row shards, each
+	// served by its own independently coded group of N workers (its own
+	// executor, scenario dynamics, and adaptation state), behind one
+	// fan-out master (internal/shard). 0 or 1 means a single group.
+	Shards int
 }
 
 // Option mutates a Config under construction.
@@ -174,4 +179,21 @@ func WithPregeneratedCodings(pregenerated bool) Option {
 //	), data, nil, nil)
 func WithScenario(s *scenario.Scenario) Option {
 	return func(c *Config) { c.Scenario = s }
+}
+
+// WithShards partitions the deployment into g independently coded worker
+// groups, each holding a contiguous row shard of every data matrix and
+// running its own full protocol (executor, scenario, verification,
+// AVCC adaptation). New returns a shard-plane master whose rounds fan out
+// to all groups concurrently and concatenate the per-group decodes, so
+// throughput scales with worker count instead of capping at one group's N.
+//
+// behaviors and stragglers passed to New apply to every group identically
+// (each group has its own workers numbered from 0; WorkerCount reports the
+// per-group length a behaviours slice must have). Block-structured schemes
+// (gavcc) additionally require g to divide K, so every group holds whole
+// coded blocks and the concatenated output stays bit-exact with the
+// unsharded deployment.
+func WithShards(g int) Option {
+	return func(c *Config) { c.Shards = g }
 }

@@ -286,6 +286,15 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 }
 
+// Pending reports how many requests currently sit in the admission queue
+// (excluding any batch already handed to the dispatcher). Load shedders and
+// tests use it to observe queue pressure without racing the dispatcher.
+func (s *Service) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
 // Stats snapshots the service-wide and per-tenant accounting.
 func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()

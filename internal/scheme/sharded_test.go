@@ -1,0 +1,228 @@
+package scheme
+
+// The sharded axis of the conformance suite: every registered scheme runs
+// under {1, 2, 4} shard groups through the steady, churn, and adversarial-
+// wave presets, and the sharded fan-out master must decode bit-exact with
+// the unsharded master on the same seed and input sequence. Sharding moves
+// WHERE the protocol runs (one coded group per row shard, each with its own
+// executor, scenario engine, and adaptation state) but may never move WHAT
+// is computed. The isolation test then proves the per-group adaptation
+// claim directly: churn confined to one group re-codes that group alone.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/gavcc"
+	"repro/internal/scenario"
+	"repro/internal/shard"
+)
+
+// shardedPresets is the sharded axis of the suite: the control arm, the
+// re-coding regime, and the quarantine regime.
+func shardedPresets() []string {
+	return []string{scenario.Steady, scenario.Churn, scenario.AdversarialWave}
+}
+
+// runShardedCell drives one (scheme, profile, shards) cell for rounds
+// iterations, asserting every decode against the uncoded reference, and
+// returns the per-iteration decodes plus the master for post-run
+// introspection. shards == 1 is the unsharded control the other cells are
+// compared against.
+func runShardedCell(t *testing.T, tc conformanceCase, profile string, shards, rounds int) ([][]field.Elem, Master) {
+	t.Helper()
+	f := field.Default()
+	rng := rand.New(rand.NewSource(conformanceSeed))
+	var x *fieldmat.Matrix
+	if tc.key == gavcc.GramKey {
+		x = fieldmat.Rand(f, rng, 64, 48)
+	} else {
+		x = fieldmat.Rand(f, rng, 720, 120)
+	}
+	scn, err := scenario.Profile(profile, tc.n, tc.k, conformanceSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tc.scheme, f, NewConfig(
+		WithCoding(tc.n, tc.k),
+		WithBudgets(1, 1, 0),
+		WithSim(conformanceSim()),
+		WithSeed(conformanceSeed),
+		WithScenario(scn),
+		WithShards(shards),
+	), tc.data(x), nil, nil)
+	if err != nil {
+		t.Fatalf("%s under %s at %d shards: %v", tc.scheme, profile, shards, err)
+	}
+	outs := make([][]field.Elem, 0, rounds)
+	for iter := 0; iter < rounds; iter++ {
+		in := tc.input(f, rng, x)
+		out, err := m.RunRound(context.Background(), tc.key, in, iter)
+		if err != nil {
+			t.Fatalf("%s under %s at %d shards, iter %d: %v", tc.scheme, profile, shards, iter, err)
+		}
+		if want := tc.want(f, x, in, tc.k); !field.EqualVec(out.Decoded, want) {
+			t.Fatalf("%s under %s at %d shards, iter %d: decode not bit-exact against the uncoded reference",
+				tc.scheme, profile, shards, iter)
+		}
+		outs = append(outs, out.Decoded)
+		m.FinishIteration(iter)
+	}
+	return outs, m
+}
+
+func TestShardedConformanceBitExactWithUnsharded(t *testing.T) {
+	const rounds = 8
+	for _, tc := range conformanceCases() {
+		for _, profile := range shardedPresets() {
+			tc, profile := tc, profile
+			t.Run(tc.scheme+"/"+profile, func(t *testing.T) {
+				base, _ := runShardedCell(t, tc, profile, 1, rounds)
+				for _, shards := range []int{2, 4} {
+					outs, m := runShardedCell(t, tc, profile, shards, rounds)
+					for iter := range outs {
+						if !field.EqualVec(outs[iter], base[iter]) {
+							t.Fatalf("%d shards, iter %d: sharded decode differs from the unsharded master",
+								shards, iter)
+						}
+					}
+					sm, ok := m.(*shard.Master)
+					if !ok {
+						t.Fatalf("%d shards: New returned %T, want *shard.Master", shards, m)
+					}
+					if sm.Groups() != shards {
+						t.Fatalf("New built %d groups, want %d", sm.Groups(), shards)
+					}
+					// The whole-fleet churn arm: every group sees the same
+					// timeline, so the adaptive scheme must have re-coded in
+					// every group independently.
+					if profile == scenario.Churn && tc.scheme == "avcc" {
+						for g := 0; g < sm.Groups(); g++ {
+							ad, ok := sm.Group(g).(Adaptive)
+							if !ok {
+								t.Fatalf("group %d does not expose the Adaptive interface", g)
+							}
+							if _, k := ad.Coding(); k >= tc.k {
+								t.Errorf("group %d still at K = %d after whole-fleet churn, want a re-code", g, k)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardChurnIsolatedToOneGroup is the fault-isolation contract of the
+// shard plane: churn confined to group 0 must push ONLY group 0 through
+// AVCC's re-coding rule, while group 1 keeps its original coding and full
+// active set — and the fleet keeps decoding exactly throughout.
+func TestShardChurnIsolatedToOneGroup(t *testing.T) {
+	const rounds = 8
+	f := field.Default()
+	rng := rand.New(rand.NewSource(conformanceSeed))
+	x := fieldmat.Rand(f, rng, 720, 120)
+	plan, err := shard.EvenPlan(x.Rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices, err := plan.Split(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := scenario.Profile(scenario.Churn, 12, 9, conformanceSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.NewMaster(map[string]*shard.Plan{"fwd": plan}, func(g int) (shard.GroupMaster, error) {
+		opts := []Option{
+			WithCoding(12, 9),
+			WithBudgets(1, 1, 0),
+			WithSim(conformanceSim()),
+			WithSeed(conformanceSeed + int64(g)),
+		}
+		if g == 0 {
+			opts = append(opts, WithScenario(churn))
+		}
+		return New("avcc", f, NewConfig(opts...), map[string]*fieldmat.Matrix{"fwd": slices[g]}, nil, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recoded := false
+	for iter := 0; iter < rounds; iter++ {
+		in := f.RandVec(rng, x.Cols)
+		out, err := m.RunRound(context.Background(), "fwd", in, iter)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, in)) {
+			t.Fatalf("iter %d: decode not exact while group 0 churns", iter)
+		}
+		if _, r := m.FinishIteration(iter); r {
+			recoded = true
+		}
+	}
+	if !recoded {
+		t.Fatal("the sharded master never reported the churning group's re-code")
+	}
+	g0, ok := m.Group(0).(Adaptive)
+	if !ok {
+		t.Fatal("group 0 does not expose the Adaptive interface")
+	}
+	if _, k := g0.Coding(); k >= 9 {
+		t.Errorf("group 0 still at K = %d after churn, want a re-code", k)
+	}
+	g1 := m.Group(1).(Adaptive)
+	if n, k := g1.Coding(); n != 12 || k != 9 {
+		t.Errorf("group 1 moved to (%d, %d) although its world was steady, want (12, 9)", n, k)
+	}
+	if active := g1.ActiveWorkers(); len(active) != 12 {
+		t.Errorf("group 1 has %d active workers although its world was steady, want 12", len(active))
+	}
+}
+
+// TestShardedServiceServesExactly threads a sharded master through the
+// serving layer: Submit/coalescing/tenant metrics must work unchanged when
+// the master underneath is a fan-out over shard groups.
+func TestShardedServiceServesExactly(t *testing.T) {
+	f := field.Default()
+	rng := rand.New(rand.NewSource(11))
+	x := fieldmat.Rand(f, rng, 240, 40)
+	m, err := New("avcc", f, NewConfig(WithSeed(11), WithShards(2)),
+		map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(m, ServiceConfig{MaxBatch: 8})
+	defer svc.Close(context.Background())
+
+	const reqs = 24
+	futures := make([]*Future, reqs)
+	inputs := make([][]field.Elem, reqs)
+	ctx := WithTenant(context.Background(), "sharded")
+	for i := range futures {
+		inputs[i] = f.RandVec(rng, x.Cols)
+		futures[i] = svc.Submit(ctx, "fwd", inputs[i])
+	}
+	for i, fu := range futures {
+		out, err := fu.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, inputs[i])) {
+			t.Fatalf("request %d: served decode is not the exact product", i)
+		}
+	}
+	stats := svc.Stats()
+	if stats.Requests != reqs {
+		t.Fatalf("service accounted %d requests, want %d", stats.Requests, reqs)
+	}
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Tenant != "sharded" || stats.Tenants[0].Completed != reqs {
+		t.Fatalf("tenant accounting off: %+v", stats.Tenants)
+	}
+}

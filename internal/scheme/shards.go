@@ -1,0 +1,92 @@
+// Sharded construction: scheme.New with Config.Shards > 1 builds one
+// registry-backed master per shard group and wraps them in the fan-out
+// master from internal/shard. Everything above the Master interface — the
+// serving layer, the experiment drivers, the CLIs — works unchanged on the
+// result; everything below it (encoding, verification, adaptation) runs
+// per group, on that group's row shard alone.
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/shard"
+)
+
+// shardSeedStride separates the per-group randomness streams: group g runs
+// at cfg.Seed + g*shardSeedStride, so groups make independent (but still
+// seed-reproducible) key, mask, and jitter draws.
+const shardSeedStride = 1_000_003
+
+// blockSharded names the registered schemes whose round output is a
+// sequence of per-block results over the K-padded matrix (the Blocked
+// interface) rather than a row-for-row decode. Sharding such a scheme must
+// hand each group whole coded blocks — the plan splits the padded matrix at
+// block boundaries and each group's K scales to the blocks it holds — or
+// the concatenated output would change block geometry and stop being
+// bit-exact with the unsharded deployment. Schemes not named here shard by
+// plain rows, which is exact for any decode that trims to original rows.
+var blockSharded = map[string]bool{"gavcc": true}
+
+// newSharded builds cfg.Shards independent group masters via the registry
+// and wraps them in a shard.Master. Each group receives its row shard of
+// every data key, the shared behaviours/straggler schedule, a per-group
+// seed, and (when cfg.Scenario is set) its own compiled scenario engine —
+// so fault timelines play out independently in every group.
+func newSharded(e entry, name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
+	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
+	groups := cfg.Shards
+	gcfg := cfg
+	gcfg.Shards = 0
+	if blockSharded[name] {
+		if cfg.K%groups != 0 {
+			return nil, &InvalidConfigError{"Shards", fmt.Sprintf(
+				"= %d must divide K = %d for the block-structured scheme %q (each group holds whole coded blocks)",
+				groups, cfg.K, name)}
+		}
+		gcfg.K = cfg.K / groups
+	}
+
+	plans := make(map[string]*shard.Plan, len(data))
+	perGroup := make([]map[string]*fieldmat.Matrix, groups)
+	for g := range perGroup {
+		perGroup[g] = make(map[string]*fieldmat.Matrix, len(data))
+	}
+	for _, key := range dataKeys(data) {
+		x := data[key]
+		if blockSharded[name] {
+			// Pad to K blocks first so the even split lands exactly on
+			// block boundaries (K % groups == 0 guarantees divisibility).
+			x = fieldmat.PadRows(x, cfg.K)
+		}
+		plan, err := shard.EvenPlan(x.Rows, groups)
+		if err != nil {
+			return nil, &InvalidConfigError{"Shards", fmt.Sprintf("= %d: key %q: %v", groups, key, err)}
+		}
+		slices, err := plan.Split(x)
+		if err != nil {
+			return nil, fmt.Errorf("scheme: sharding key %q: %w", key, err)
+		}
+		plans[key] = plan
+		for g, sl := range slices {
+			perGroup[g][key] = sl
+		}
+	}
+
+	return shard.NewMaster(plans, func(g int) (shard.GroupMaster, error) {
+		c := gcfg
+		c.Seed = cfg.Seed + int64(g)*shardSeedStride
+		m, err := e.build(f, c, perGroup[g], behaviors, stragglers)
+		if err != nil {
+			return nil, err
+		}
+		if c.Scenario != nil {
+			if err := attachScenario(m, f, c, stragglers); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	})
+}

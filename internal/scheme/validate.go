@@ -55,6 +55,8 @@ func (c Config) Validate() error {
 		return &InvalidConfigError{"DegF", fmt.Sprintf("= %d, the computation degree must be at least 1", c.DegF)}
 	case c.VerifyTrials < 0:
 		return &InvalidConfigError{"VerifyTrials", fmt.Sprintf("= %d, the amplification factor cannot be negative", c.VerifyTrials)}
+	case c.Shards < 0:
+		return &InvalidConfigError{"Shards", fmt.Sprintf("= %d, the shard-group count cannot be negative (0 or 1 means a single group)", c.Shards)}
 	case !c.Sim.Validate():
 		return &InvalidConfigError{"Sim", "is not a valid latency model (rates must be positive)"}
 	}

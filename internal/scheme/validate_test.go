@@ -33,6 +33,7 @@ func TestValidateRejectsImpossibleConfigs(t *testing.T) {
 		{"zero degree", NewConfig(WithDegF(0)), "DegF"},
 		{"negative trials", NewConfig(WithVerifyTrials(-1)), "VerifyTrials"},
 		{"broken latency model", NewConfig(WithSim(badSim)), "Sim"},
+		{"negative shard groups", NewConfig(WithShards(-2)), "Shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -68,5 +69,28 @@ func TestNewRejectsInvalidConfigForEveryScheme(t *testing.T) {
 				t.Fatalf("%s returned %v, want a typed *InvalidConfigError", name, err)
 			}
 		}
+	}
+}
+
+// TestNewRejectsInfeasibleShardPlans pins the shard-specific rejections New
+// adds on top of Validate: a block-structured scheme whose K the group
+// count does not divide, and a group count larger than the matrix has rows.
+// Both are admission-time caller errors, so both must be typed.
+func TestNewRejectsInfeasibleShardPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+
+	gram := fieldmat.Rand(f, rng, 64, 16)
+	_, err := New("gavcc", f, NewConfig(WithCoding(10, 4), WithShards(3)),
+		map[string]*fieldmat.Matrix{"gram": gram}, nil, nil)
+	var cfgErr *InvalidConfigError
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "Shards" {
+		t.Fatalf("gavcc with 3 shards over K = 4 returned %v, want a Shards-typed rejection", err)
+	}
+
+	tiny := fieldmat.Rand(f, rng, 3, 10)
+	_, err = New("avcc", f, NewConfig(WithShards(4)),
+		map[string]*fieldmat.Matrix{"fwd": tiny}, nil, nil)
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "Shards" {
+		t.Fatalf("4 shards over a 3-row matrix returned %v, want a Shards-typed rejection", err)
 	}
 }

@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+// FuzzShardPlan pins the plan constructors and the split/concat round trip
+// across ragged sizes: whatever (rows, groups, weights) the fuzzer throws,
+// an accepted plan must tile the rows exactly, give every group at least
+// one row, keep even spans within one row of each other, and split a matrix
+// into slices whose concatenation is bit-identical to the source.
+func FuzzShardPlan(fz *testing.F) {
+	fz.Add(10, 3, 5, byte(7))
+	fz.Add(1, 1, 1, byte(0))
+	fz.Add(23, 4, 2, byte(255))
+	fz.Add(64, 16, 1, byte(3))
+	fz.Add(7, 8, 3, byte(9)) // more groups than rows: must be rejected
+	fz.Fuzz(func(t *testing.T, rows, groups, cols int, wseed byte) {
+		if rows < 0 || rows > 512 || groups < -4 || groups > 64 || cols < 1 || cols > 8 {
+			t.Skip()
+		}
+		even, err := EvenPlan(rows, groups)
+		if groups < 1 || rows < groups {
+			if err == nil {
+				t.Fatalf("EvenPlan(%d, %d) accepted an impossible split", rows, groups)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("EvenPlan(%d, %d): %v", rows, groups, err)
+		}
+		checkPlan(t, even, rows, groups)
+		for _, s := range even.Spans {
+			if d := s.Rows - even.Spans[groups-1].Rows; d < 0 || d > 1 {
+				t.Fatalf("EvenPlan(%d, %d) spans are not within one row: %+v", rows, groups, even.Spans)
+			}
+		}
+
+		weights := make([]float64, groups)
+		for g := range weights {
+			weights[g] = 1 + float64((int(wseed)+3*g)%7)
+		}
+		weighted, err := WeightedPlan(rows, weights)
+		if err != nil {
+			t.Fatalf("WeightedPlan(%d, %v): %v", rows, weights, err)
+		}
+		checkPlan(t, weighted, rows, groups)
+
+		f := field.Default()
+		m := fieldmat.NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = f.Reduce(uint64(i)*2654435761 + uint64(wseed))
+		}
+		for _, p := range []*Plan{even, weighted} {
+			parts, err := p.Split(m)
+			if err != nil {
+				t.Fatalf("Split: %v", err)
+			}
+			var back []field.Elem
+			for _, part := range parts {
+				back = append(back, part.Data...)
+			}
+			if !field.EqualVec(back, m.Data) {
+				t.Fatalf("split/concat round trip lost rows for plan %+v", p.Spans)
+			}
+		}
+	})
+}
+
+func checkPlan(t *testing.T, p *Plan, rows, groups int) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("constructor returned an invalid plan: %v", err)
+	}
+	if p.Groups() != groups {
+		t.Fatalf("plan has %d groups, want %d", p.Groups(), groups)
+	}
+	covered := 0
+	for g, s := range p.Spans {
+		if s.Rows < 1 {
+			t.Fatalf("group %d got %d rows", g, s.Rows)
+		}
+		covered += s.Rows
+	}
+	if covered != rows {
+		t.Fatalf("spans cover %d rows, want %d", covered, rows)
+	}
+}

@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+)
+
+// GroupMaster is what each shard group must provide: the protocol-side
+// cluster.Master plus the deployment hooks (structurally identical to
+// scheme.Master, redeclared here so this package does not depend on the
+// registry layer that wraps it).
+type GroupMaster interface {
+	cluster.Master
+	SetExecutor(e cluster.Executor)
+	Workers() []*cluster.Worker
+}
+
+// Builder constructs the master for group g. Each call must return an
+// independent deployment — its own workers, executor, scenario dynamics,
+// and adaptation state — already holding group g's row shard of every round
+// key. The scheme layer passes a registry-backed builder; tests may build
+// groups with entirely different scenarios to prove fault isolation.
+type Builder func(g int) (GroupMaster, error)
+
+// Master presents a fleet of independently coded worker groups as one
+// cluster.Master. RunRound/RunRoundBatch fan the (batched) input out to all
+// groups concurrently and concatenate the per-group decodes in plan order;
+// FinishIteration fans in so each group adapts on its own observed
+// stragglers and Byzantines. Worker IDs in Used/Byzantine are globalised by
+// offsetting each group's local IDs with the worker counts of the groups
+// before it.
+//
+// Failure semantics: a round fails if ANY group's round fails — the decoded
+// output is a concatenation, so a missing slice is not a partial success.
+// The first failing group's error (lowest group index) is returned, tagged
+// with the group, and the shared round context is cancelled so the other
+// groups stop promptly instead of computing output that will be discarded.
+type Master struct {
+	plans  map[string]*Plan
+	groups []GroupMaster
+	// offsets[g] is the global worker-ID offset of group g (sum of the
+	// worker counts of groups 0..g-1).
+	offsets []int
+}
+
+// NewMaster builds a sharded master: plans maps each round key to the row
+// plan its matrix was split under (metadata for introspection — the fan-out
+// itself only needs the groups), and build is called once per group. All
+// plans must agree on the group count.
+func NewMaster(plans map[string]*Plan, build Builder) (*Master, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("shard: no plans")
+	}
+	groups := -1
+	for _, key := range planKeys(plans) {
+		p := plans[key]
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: key %q: %w", key, err)
+		}
+		if groups == -1 {
+			groups = p.Groups()
+		} else if p.Groups() != groups {
+			return nil, fmt.Errorf("shard: key %q plans %d groups, other keys plan %d", key, p.Groups(), groups)
+		}
+	}
+	m := &Master{
+		plans:   plans,
+		groups:  make([]GroupMaster, groups),
+		offsets: make([]int, groups),
+	}
+	offset := 0
+	for g := range m.groups {
+		gm, err := build(g)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building group %d: %w", g, err)
+		}
+		m.groups[g] = gm
+		m.offsets[g] = offset
+		offset += len(gm.Workers())
+	}
+	return m, nil
+}
+
+// planKeys returns the plan keys in sorted order (deterministic iteration).
+func planKeys(plans map[string]*Plan) []string {
+	keys := make([]string, 0, len(plans))
+	for k := range plans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Groups returns the number of shard groups.
+func (m *Master) Groups() int { return len(m.groups) }
+
+// Group returns group g's master — the hook for per-group introspection
+// (type-assert to scheme.Adaptive to watch one group's re-coding) and for
+// per-group deployment wiring.
+func (m *Master) Group(g int) GroupMaster { return m.groups[g] }
+
+// Plan returns the row plan the given round key was sharded under (nil if
+// the key is unknown).
+func (m *Master) Plan(key string) *Plan { return m.plans[key] }
+
+// Keys returns the sharded round keys in sorted order.
+func (m *Master) Keys() []string { return planKeys(m.plans) }
+
+// Name implements cluster.Master: a sharded deployment carries its groups'
+// scheme identity (all groups run the same scheme).
+func (m *Master) Name() string { return m.groups[0].Name() }
+
+// SetExecutor implements the deployment hook by forwarding the executor to
+// every group. Groups have disjoint worker sets, so a shared executor only
+// makes sense for executors that resolve workers per call; per-group
+// executors should be installed through Group(g).SetExecutor instead.
+func (m *Master) SetExecutor(e cluster.Executor) {
+	for _, gm := range m.groups {
+		gm.SetExecutor(e)
+	}
+}
+
+// Workers implements the deployment hook: the concatenation of every
+// group's workers, in group order (matching the global ID offsets used in
+// Used/Byzantine).
+func (m *Master) Workers() []*cluster.Worker {
+	var all []*cluster.Worker
+	for _, gm := range m.groups {
+		all = append(all, gm.Workers()...)
+	}
+	return all
+}
+
+// RunRound implements cluster.Master as the batch-of-one projection of
+// RunRoundBatch, like every other master.
+func (m *Master) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := m.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+// RunRoundBatch implements cluster.Master: the batch is broadcast to every
+// group concurrently (each group runs its own full coded round over its row
+// shard — encode-side packing, verification, and decoding all happen
+// per-group), and Outputs[i] is the concatenation of the groups' decoded
+// outputs for batch entry i, in plan order. Breakdown components report the
+// slowest group (groups run in parallel, so the fleet's cost is the max,
+// not the sum); StragglersObserved sums across groups.
+func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field.Elem, iter int) (*cluster.BatchOutput, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]*cluster.BatchOutput, len(m.groups))
+	errs := make([]error, len(m.groups))
+	var wg sync.WaitGroup
+	for g, gm := range m.groups {
+		wg.Add(1)
+		go func(g int, gm GroupMaster) {
+			defer wg.Done()
+			out, err := gm.RunRoundBatch(ctx, key, inputs, iter)
+			if err != nil {
+				errs[g] = err
+				cancel() // one missing slice fails the round; stop the rest
+				return
+			}
+			outs[g] = out
+		}(g, gm)
+	}
+	wg.Wait()
+	// Surface the ROOT CAUSE: a group that aborted with a context error did
+	// so because a sibling failed first (the cancel above) or because the
+	// caller cancelled — either way it is not the interesting error. Only
+	// when every failing group reports a context error (pure caller
+	// cancellation) is that error itself returned.
+	var ctxErrIdx = -1
+	for g, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErrIdx == -1 {
+				ctxErrIdx = g
+			}
+			continue
+		}
+		return nil, fmt.Errorf("shard: group %d: %w", g, err)
+	}
+	if ctxErrIdx != -1 {
+		return nil, fmt.Errorf("shard: group %d: %w", ctxErrIdx, errs[ctxErrIdx])
+	}
+
+	batch := len(inputs)
+	merged := &cluster.BatchOutput{Outputs: make([][]field.Elem, batch)}
+	for i := range merged.Outputs {
+		var total int
+		for _, out := range outs {
+			total += len(out.Outputs[i])
+		}
+		full := make([]field.Elem, 0, total)
+		for _, out := range outs {
+			full = append(full, out.Outputs[i]...)
+		}
+		merged.Outputs[i] = full
+	}
+	for g, out := range outs {
+		off := m.offsets[g]
+		for _, id := range out.Used {
+			merged.Used = append(merged.Used, off+id)
+		}
+		for _, id := range out.Byzantine {
+			merged.Byzantine = append(merged.Byzantine, off+id)
+		}
+		merged.StragglersObserved += out.StragglersObserved
+		merged.Breakdown.Compute = max(merged.Breakdown.Compute, out.Breakdown.Compute)
+		merged.Breakdown.Comm = max(merged.Breakdown.Comm, out.Breakdown.Comm)
+		merged.Breakdown.Verify = max(merged.Breakdown.Verify, out.Breakdown.Verify)
+		merged.Breakdown.Decode = max(merged.Breakdown.Decode, out.Breakdown.Decode)
+		merged.Breakdown.Wall = max(merged.Breakdown.Wall, out.Breakdown.Wall)
+	}
+	return merged, nil
+}
+
+// FinishIteration implements cluster.Master by fanning in: every group
+// adapts on its own observations, so churn in one group re-codes that group
+// alone. The reported cost is the slowest group's (re-codes run in
+// parallel); recoded is true if ANY group re-coded.
+func (m *Master) FinishIteration(iter int) (recodeCost float64, recoded bool) {
+	for _, gm := range m.groups {
+		cost, r := gm.FinishIteration(iter)
+		recodeCost = max(recodeCost, cost)
+		recoded = recoded || r
+	}
+	return recodeCost, recoded
+}

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/metrics"
+)
+
+// fakeGroup is a scriptable GroupMaster for fan-out/fan-in tests.
+type fakeGroup struct {
+	id      int
+	workers []*cluster.Worker
+	out     *cluster.BatchOutput
+	err     error
+	// block, when set, makes the round wait for ctx cancellation and
+	// return ctx's error; sawCancel is closed once that happens.
+	block     bool
+	sawCancel chan struct{}
+	// finished records FinishIteration calls; cost/recoded are returned.
+	finished int
+	cost     float64
+	recoded  bool
+}
+
+func newFakeGroup(id, workers int) *fakeGroup {
+	g := &fakeGroup{id: id, sawCancel: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		g.workers = append(g.workers, cluster.NewWorker(w))
+	}
+	return g
+}
+
+func (g *fakeGroup) Name() string                 { return "fake" }
+func (g *fakeGroup) SetExecutor(cluster.Executor) {}
+func (g *fakeGroup) Workers() []*cluster.Worker   { return g.workers }
+func (g *fakeGroup) FinishIteration(int) (float64, bool) {
+	g.finished++
+	return g.cost, g.recoded
+}
+
+func (g *fakeGroup) RunRound(ctx context.Context, key string, input []field.Elem, iter int) (*cluster.RoundOutput, error) {
+	b, err := g.RunRoundBatch(ctx, key, [][]field.Elem{input}, iter)
+	if err != nil {
+		return nil, err
+	}
+	return b.Round(0), nil
+}
+
+func (g *fakeGroup) RunRoundBatch(ctx context.Context, _ string, inputs [][]field.Elem, _ int) (*cluster.BatchOutput, error) {
+	if g.block {
+		<-ctx.Done()
+		close(g.sawCancel)
+		return nil, ctx.Err()
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	out := &cluster.BatchOutput{
+		Outputs:            make([][]field.Elem, len(inputs)),
+		Used:               append([]int(nil), g.out.Used...),
+		Byzantine:          append([]int(nil), g.out.Byzantine...),
+		StragglersObserved: g.out.StragglersObserved,
+		Breakdown:          g.out.Breakdown,
+	}
+	// Each batch entry decodes to [group-id, entry-index] so the test can
+	// check both concatenation order and per-entry routing.
+	for i := range inputs {
+		out.Outputs[i] = []field.Elem{field.Elem(g.id), field.Elem(i)}
+	}
+	return out, nil
+}
+
+func twoGroupPlans(t *testing.T) map[string]*Plan {
+	t.Helper()
+	p, err := EvenPlan(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Plan{"fwd": p}
+}
+
+func TestMasterFanOutMergesGroups(t *testing.T) {
+	g0, g1 := newFakeGroup(0, 3), newFakeGroup(1, 5)
+	g0.out = &cluster.BatchOutput{
+		Used: []int{0, 2}, Byzantine: []int{1}, StragglersObserved: 1,
+		Breakdown: metrics.Breakdown{Compute: 2, Comm: 1, Verify: 5, Decode: 1, Wall: 9},
+	}
+	g1.out = &cluster.BatchOutput{
+		Used: []int{1, 4}, Byzantine: nil, StragglersObserved: 2,
+		Breakdown: metrics.Breakdown{Compute: 3, Comm: 0.5, Verify: 2, Decode: 4, Wall: 7},
+	}
+	m, err := NewMaster(twoGroupPlans(t), func(g int) (GroupMaster, error) {
+		return []GroupMaster{g0, g1}[g], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := m.RunRoundBatch(context.Background(), "fwd", [][]field.Elem{{1}, {2}, {3}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]field.Elem{{0, 0, 1, 0}, {0, 1, 1, 1}, {0, 2, 1, 2}} {
+		if !field.EqualVec(out.Outputs[i], want) {
+			t.Errorf("batch entry %d = %v, want group-0-then-group-1 concat %v", i, out.Outputs[i], want)
+		}
+	}
+	// Group 1's local worker IDs are offset by group 0's worker count (3).
+	if want := []int{0, 2, 3 + 1, 3 + 4}; fmt.Sprint(out.Used) != fmt.Sprint(want) {
+		t.Errorf("Used = %v, want globalised %v", out.Used, want)
+	}
+	if want := []int{1}; fmt.Sprint(out.Byzantine) != fmt.Sprint(want) {
+		t.Errorf("Byzantine = %v, want %v", out.Byzantine, want)
+	}
+	if out.StragglersObserved != 3 {
+		t.Errorf("StragglersObserved = %d, want summed 3", out.StragglersObserved)
+	}
+	// Parallel groups: each breakdown component is the slowest group's.
+	want := metrics.Breakdown{Compute: 3, Comm: 1, Verify: 5, Decode: 4, Wall: 9}
+	if out.Breakdown != want {
+		t.Errorf("Breakdown = %+v, want per-component max %+v", out.Breakdown, want)
+	}
+	if got := len(m.Workers()); got != 8 {
+		t.Errorf("Workers() = %d, want 3+5", got)
+	}
+}
+
+func TestMasterGroupFailureCancelsTheRest(t *testing.T) {
+	g0, g1 := newFakeGroup(0, 2), newFakeGroup(1, 2)
+	g0.err = errors.New("decode exploded")
+	g1.block = true
+	m, err := NewMaster(twoGroupPlans(t), func(g int) (GroupMaster, error) {
+		return []GroupMaster{g0, g1}[g], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RunRound(context.Background(), "fwd", []field.Elem{1}, 0)
+	if err == nil || !strings.Contains(err.Error(), "group 0") || !strings.Contains(err.Error(), "decode exploded") {
+		t.Fatalf("error = %v, want group-0-tagged decode failure", err)
+	}
+	select {
+	case <-g1.sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("group 1 never saw the cancellation after group 0 failed")
+	}
+}
+
+// TestMasterGroupFailureSurfacesRootCause pins the error-selection rule:
+// when a HIGHER-index group fails with a real error, the lower-index
+// sibling's cancellation abort (context.Canceled, a mere consequence) must
+// not mask it.
+func TestMasterGroupFailureSurfacesRootCause(t *testing.T) {
+	g0, g1 := newFakeGroup(0, 2), newFakeGroup(1, 2)
+	g0.block = true // aborts with ctx.Err() once group 1's failure cancels
+	g1.err = errors.New("decode exploded")
+	m, err := NewMaster(twoGroupPlans(t), func(g int) (GroupMaster, error) {
+		return []GroupMaster{g0, g1}[g], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RunRound(context.Background(), "fwd", []field.Elem{1}, 0)
+	if err == nil || !strings.Contains(err.Error(), "group 1") || !strings.Contains(err.Error(), "decode exploded") {
+		t.Fatalf("error = %v, want group 1's root-cause failure, not group 0's cancellation", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v wraps context.Canceled: a real group failure must not read as a caller cancellation", err)
+	}
+}
+
+func TestMasterHonoursCallerContext(t *testing.T) {
+	g0 := newFakeGroup(0, 2)
+	g0.block = true
+	m, err := NewMaster(map[string]*Plan{"fwd": {Rows: 4, Spans: []Span{{0, 4}}}},
+		func(int) (GroupMaster, error) { return g0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := m.RunRound(ctx, "fwd", []field.Elem{1}, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled round returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMasterFinishIterationFansIn(t *testing.T) {
+	g0, g1 := newFakeGroup(0, 2), newFakeGroup(1, 2)
+	g0.cost, g0.recoded = 3.5, false
+	g1.cost, g1.recoded = 1.0, true
+	m, err := NewMaster(twoGroupPlans(t), func(g int) (GroupMaster, error) {
+		return []GroupMaster{g0, g1}[g], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, recoded := m.FinishIteration(4)
+	if g0.finished != 1 || g1.finished != 1 {
+		t.Fatalf("FinishIteration calls = (%d, %d), want one per group", g0.finished, g1.finished)
+	}
+	if cost != 3.5 {
+		t.Errorf("recode cost = %v, want the slowest group's 3.5 (groups re-code in parallel)", cost)
+	}
+	if !recoded {
+		t.Error("recoded = false although group 1 re-coded")
+	}
+}
+
+func TestNewMasterRejectsInconsistentPlans(t *testing.T) {
+	p2, _ := EvenPlan(8, 2)
+	p3, _ := EvenPlan(9, 3)
+	_, err := NewMaster(map[string]*Plan{"fwd": p2, "bwd": p3},
+		func(int) (GroupMaster, error) { return newFakeGroup(0, 1), nil })
+	if err == nil {
+		t.Fatal("plans with differing group counts accepted")
+	}
+	if _, err := NewMaster(nil, func(int) (GroupMaster, error) { return newFakeGroup(0, 1), nil }); err == nil {
+		t.Fatal("empty plan map accepted")
+	}
+	_, err = NewMaster(map[string]*Plan{"fwd": p2}, func(g int) (GroupMaster, error) {
+		if g == 1 {
+			return nil, errors.New("no machines left")
+		}
+		return newFakeGroup(g, 1), nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "group 1") {
+		t.Fatalf("builder failure surfaced as %v, want a group-1-tagged error", err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package shard is the multi-group execution plane: it partitions a data
+// matrix into contiguous row shards (a Plan), hands each shard to an
+// independently coded worker group, and presents the whole fleet as ONE
+// cluster.Master whose rounds fan out to every group concurrently and whose
+// outputs are the concatenation of the per-group decodes.
+//
+// This is how the serving layer scales past a single coded group's
+// throughput: each group has its own executor, its own scenario dynamics,
+// and its own AVCC adaptation state, so a slowdown wave or Byzantine churn
+// in one group triggers re-coding in that group alone while the others keep
+// serving at full speed. The construction mirrors how LCC-style deployments
+// scale by partitioning the data matrix across independent worker pools;
+// within each partition the per-group code handles stragglers, Byzantines,
+// and privacy exactly as before.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/fieldmat"
+)
+
+// Span is one group's contiguous row range [Start, Start+Rows) of the
+// sharded matrix.
+type Span struct {
+	Start int `json:"start"`
+	Rows  int `json:"rows"`
+}
+
+// End returns the exclusive end row of the span.
+func (s Span) End() int { return s.Start + s.Rows }
+
+// Plan partitions Rows matrix rows into contiguous, non-empty, gap-free
+// spans — one per worker group. Build one with EvenPlan or WeightedPlan (or
+// by hand, then Validate).
+type Plan struct {
+	// Rows is the total row count being partitioned.
+	Rows int `json:"rows"`
+	// Spans lists each group's row range, in row order.
+	Spans []Span `json:"spans"`
+}
+
+// Groups returns the number of shard groups in the plan.
+func (p *Plan) Groups() int { return len(p.Spans) }
+
+// Validate checks the plan invariants every consumer relies on: at least
+// one span, every span non-empty, and the spans tiling [0, Rows) exactly —
+// no gaps, no overlaps, no reordering. A plan that drops or duplicates a
+// row would silently corrupt the concatenated output, so this is enforced
+// before any matrix is split.
+func (p *Plan) Validate() error {
+	if p.Rows < 1 {
+		return fmt.Errorf("shard: plan covers %d rows, need at least 1", p.Rows)
+	}
+	if len(p.Spans) == 0 {
+		return fmt.Errorf("shard: plan has no spans")
+	}
+	at := 0
+	for g, s := range p.Spans {
+		if s.Rows < 1 {
+			return fmt.Errorf("shard: group %d span has %d rows, need at least 1", g, s.Rows)
+		}
+		if s.Start != at {
+			return fmt.Errorf("shard: group %d span starts at row %d, want %d (spans must tile the rows contiguously)", g, s.Start, at)
+		}
+		at = s.End()
+	}
+	if at != p.Rows {
+		return fmt.Errorf("shard: spans cover %d rows, plan declares %d", at, p.Rows)
+	}
+	return nil
+}
+
+// EvenPlan splits rows into groups near-equal contiguous spans: the first
+// rows%groups spans get one extra row. Every group must receive at least one
+// row, so rows >= groups is required.
+func EvenPlan(rows, groups int) (*Plan, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 group, got %d", groups)
+	}
+	if rows < groups {
+		return nil, fmt.Errorf("shard: cannot split %d rows across %d groups (every group needs at least one row)", rows, groups)
+	}
+	p := &Plan{Rows: rows, Spans: make([]Span, groups)}
+	base, extra := rows/groups, rows%groups
+	at := 0
+	for g := range p.Spans {
+		n := base
+		if g < extra {
+			n++
+		}
+		p.Spans[g] = Span{Start: at, Rows: n}
+		at += n
+	}
+	return p, nil
+}
+
+// WeightedPlan splits rows into len(weights) contiguous spans proportional
+// to the (positive) weights — the knob for heterogeneous groups, where a
+// pool of faster workers should hold a larger row slice. Rounding uses
+// largest-remainder apportionment and every group is guaranteed at least one
+// row, so rows >= len(weights) is required.
+func WeightedPlan(rows int, weights []float64) (*Plan, error) {
+	groups := len(weights)
+	if groups < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 weight")
+	}
+	if rows < groups {
+		return nil, fmt.Errorf("shard: cannot split %d rows across %d groups (every group needs at least one row)", rows, groups)
+	}
+	var total float64
+	for g, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("shard: weight %d is %v, weights must be positive", g, w)
+		}
+		total += w
+	}
+	// Largest-remainder apportionment with a floor of one row per group:
+	// start every group at 1, apportion the remaining rows by weight floors,
+	// then hand out the leftover rows to the largest fractional remainders.
+	counts := make([]int, groups)
+	fracs := make([]float64, groups)
+	spare := rows - groups
+	assigned := 0
+	for g, w := range weights {
+		exact := float64(spare) * (w / total)
+		counts[g] = 1 + int(exact)
+		fracs[g] = exact - float64(int(exact))
+		assigned += counts[g]
+	}
+	for assigned < rows {
+		best := 0
+		for g := 1; g < groups; g++ {
+			if fracs[g] > fracs[best] {
+				best = g
+			}
+		}
+		counts[best]++
+		fracs[best] = -1 // consumed
+		assigned++
+	}
+	p := &Plan{Rows: rows, Spans: make([]Span, groups)}
+	at := 0
+	for g, n := range counts {
+		p.Spans[g] = Span{Start: at, Rows: n}
+		at += n
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Split slices m into one sub-matrix per span (copies, not views — each
+// group's master re-encodes its slice independently and must not alias the
+// others). m must have exactly p.Rows rows.
+func (p *Plan) Split(m *fieldmat.Matrix) ([]*fieldmat.Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Rows != p.Rows {
+		return nil, fmt.Errorf("shard: plan covers %d rows but the matrix has %d", p.Rows, m.Rows)
+	}
+	out := make([]*fieldmat.Matrix, len(p.Spans))
+	for g, s := range p.Spans {
+		sub := fieldmat.NewMatrix(s.Rows, m.Cols)
+		copy(sub.Data, m.Data[s.Start*m.Cols:s.End()*m.Cols])
+		out[g] = sub
+	}
+	return out, nil
+}

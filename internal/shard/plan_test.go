@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+)
+
+func TestEvenPlan(t *testing.T) {
+	cases := []struct {
+		rows, groups int
+		want         []Span
+	}{
+		{10, 1, []Span{{0, 10}}},
+		{10, 2, []Span{{0, 5}, {5, 5}}},
+		{11, 2, []Span{{0, 6}, {6, 5}}},
+		{7, 3, []Span{{0, 3}, {3, 2}, {5, 2}}},
+		{4, 4, []Span{{0, 1}, {1, 1}, {2, 1}, {3, 1}}},
+	}
+	for _, tc := range cases {
+		p, err := EvenPlan(tc.rows, tc.groups)
+		if err != nil {
+			t.Fatalf("EvenPlan(%d, %d): %v", tc.rows, tc.groups, err)
+		}
+		if len(p.Spans) != len(tc.want) {
+			t.Fatalf("EvenPlan(%d, %d): %d spans, want %d", tc.rows, tc.groups, len(p.Spans), len(tc.want))
+		}
+		for g, s := range p.Spans {
+			if s != tc.want[g] {
+				t.Errorf("EvenPlan(%d, %d) span %d = %+v, want %+v", tc.rows, tc.groups, g, s, tc.want[g])
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("EvenPlan(%d, %d) does not validate: %v", tc.rows, tc.groups, err)
+		}
+	}
+}
+
+func TestEvenPlanRejectsImpossibleSplits(t *testing.T) {
+	for _, tc := range []struct{ rows, groups int }{{3, 4}, {0, 1}, {10, 0}, {10, -1}} {
+		if _, err := EvenPlan(tc.rows, tc.groups); err == nil {
+			t.Errorf("EvenPlan(%d, %d) accepted an impossible split", tc.rows, tc.groups)
+		}
+	}
+}
+
+func TestWeightedPlanProportions(t *testing.T) {
+	p, err := WeightedPlan(100, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spans[0].Rows != 75 || p.Spans[1].Rows != 25 {
+		t.Fatalf("WeightedPlan(100, 3:1) = %d/%d rows, want 75/25", p.Spans[0].Rows, p.Spans[1].Rows)
+	}
+	// Every group keeps at least one row even under extreme skew.
+	p, err = WeightedPlan(10, []float64{1000, 1e-9, 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, s := range p.Spans {
+		if s.Rows < 1 {
+			t.Fatalf("WeightedPlan skew left group %d with %d rows", g, s.Rows)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPlanRejectsBadWeights(t *testing.T) {
+	if _, err := WeightedPlan(10, []float64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := WeightedPlan(10, []float64{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedPlan(1, []float64{1, 1}); err == nil {
+		t.Error("more groups than rows accepted")
+	}
+	if _, err := WeightedPlan(10, nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+}
+
+func TestPlanValidateCatchesCorruptPlans(t *testing.T) {
+	bad := []Plan{
+		{Rows: 10, Spans: nil},
+		{Rows: 10, Spans: []Span{{0, 5}}},           // under-covers
+		{Rows: 10, Spans: []Span{{0, 5}, {5, 6}}},   // over-covers
+		{Rows: 10, Spans: []Span{{0, 5}, {6, 4}}},   // gap
+		{Rows: 10, Spans: []Span{{0, 6}, {4, 6}}},   // overlap
+		{Rows: 10, Spans: []Span{{0, 10}, {10, 0}}}, // empty span
+		{Rows: 10, Spans: []Span{{5, 5}, {0, 5}}},   // out of order
+		{Rows: 0, Spans: []Span{}},                  // nothing to cover
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p)
+		}
+	}
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	f := field.Default()
+	rng := rand.New(rand.NewSource(3))
+	m := fieldmat.Rand(f, rng, 23, 7)
+	p, err := EvenPlan(m.Rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := p.Split(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []field.Elem
+	for g, part := range parts {
+		if part.Rows != p.Spans[g].Rows || part.Cols != m.Cols {
+			t.Fatalf("group %d slice is %dx%d, want %dx%d", g, part.Rows, part.Cols, p.Spans[g].Rows, m.Cols)
+		}
+		back = append(back, part.Data...)
+	}
+	if !field.EqualVec(back, m.Data) {
+		t.Fatal("concatenating the split slices does not reproduce the matrix")
+	}
+	// Slices must be copies: mutating one must not alias the original.
+	parts[0].Data[0]++
+	if parts[0].Data[0] == m.Data[0] {
+		t.Fatal("split slice aliases the source matrix")
+	}
+}
+
+func TestSplitRejectsMismatchedRows(t *testing.T) {
+	f := field.Default()
+	m := fieldmat.Rand(f, rand.New(rand.NewSource(1)), 9, 3)
+	p, _ := EvenPlan(12, 3)
+	if _, err := p.Split(m); err == nil {
+		t.Fatal("plan for 12 rows split a 9-row matrix")
+	}
+}
