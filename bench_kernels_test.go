@@ -253,7 +253,7 @@ func BenchmarkKernels(b *testing.B) {
 
 	// Freivalds: one verification of a 667×5000 shard claim (a length-5000
 	// and a length-667 inner product).
-	key := verify.NewKey(f, rng, shard)
+	key := verify.NewKey(f, verify.Seeded(rng), shard)
 	claim := fieldmat.MatVec(f, shard, x)
 	kernelCell(b, records, iters, "Freivalds", "lazy", "shard 667x5000", func() {
 		if !key.Check(x, claim) {

@@ -1,0 +1,144 @@
+package repro_test
+
+// Receipts-overhead benchmark: the committed-verification plane at GISETTE
+// scale (the 2880x96 model of the paper's evaluation), receipt-on vs
+// receipt-off on the same AVCC deployment. Three costs are split out:
+//
+//   - Round latency: host ns per RunRound with and without per-round receipt
+//     issuance (worker output commitments + transcript + Merkle openings).
+//     The one-time matrix commitment happens at construction, outside the
+//     timed region, matching how a serving deployment amortises it.
+//   - Receipt size: the encoded bytes a tenant downloads per round.
+//   - Verify cost: the tenant-side offline Verify time.
+//
+// When the full matrix runs (`go test -bench BenchmarkReceipts`), the rows
+// are written to BENCH_receipts.json, the committed overhead artifact; 1x
+// smoke runs (CI's bench-smoke job) execute every body but skip the write.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/commit"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/scheme"
+	"repro/internal/simnet"
+)
+
+// receiptsRow is one BENCH_receipts.json entry.
+type receiptsRow struct {
+	Receipts   bool    `json:"receipts"`
+	Rounds     int     `json:"rounds"`
+	NsPerRound float64 `json:"ns_per_round"`
+	// ReceiptBytes and VerifyMs are 0 for the receipt-off arm.
+	ReceiptBytes int     `json:"receipt_bytes"`
+	VerifyMs     float64 `json:"verify_ms"`
+}
+
+var (
+	receiptsMu      sync.Mutex
+	receiptsResults = map[bool]receiptsRow{}
+)
+
+func BenchmarkReceipts(b *testing.B) {
+	f := field.Default()
+	const rows, cols = 2880, 96
+
+	for _, receipts := range []bool{false, true} {
+		b.Run(fmt.Sprintf("receipts=%v", receipts), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(42))
+			x := fieldmat.Rand(f, rng, rows, cols)
+			sim := simnet.DefaultConfig()
+			sim.LinkLatency = 1e-5
+			m, err := scheme.New("avcc", f, scheme.NewConfig(
+				scheme.WithSeed(42),
+				scheme.WithSim(sim),
+				scheme.WithReceipts(receipts),
+				scheme.WithDeterministicKeys(true),
+			), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := f.RandVec(rng, cols)
+			want := fieldmat.MatVec(f, x, in)
+
+			b.ResetTimer()
+			start := time.Now()
+			var rec *commit.Receipt
+			for i := 0; i < b.N; i++ {
+				out, err := m.RunRound(context.Background(), "fwd", in, i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec = out.Receipt
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			// The decode must stay exact either way; with receipts on, the
+			// last round's receipt must verify — a benchmark that times a
+			// broken plane measures nothing.
+			out, err := m.RunRound(context.Background(), "fwd", in, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !field.EqualVec(out.Decoded, want) {
+				b.Fatal("decode is not the exact product")
+			}
+			row := receiptsRow{
+				Receipts:   receipts,
+				Rounds:     b.N,
+				NsPerRound: float64(elapsed.Nanoseconds()) / float64(b.N),
+			}
+			if receipts {
+				if rec == nil {
+					b.Fatal("receipts on but the round carried none")
+				}
+				enc := commit.EncodeReceipt(rec)
+				row.ReceiptBytes = len(enc)
+				vstart := time.Now()
+				if err := rec.Verify(); err != nil {
+					b.Fatalf("receipt rejected: %v", err)
+				}
+				row.VerifyMs = time.Since(vstart).Seconds() * 1e3
+				b.ReportMetric(float64(row.ReceiptBytes), "receipt-B")
+				b.ReportMetric(row.VerifyMs, "verify-ms")
+			}
+			if b.N > 1 {
+				receiptsMu.Lock()
+				receiptsResults[receipts] = row
+				receiptsMu.Unlock()
+			}
+		})
+	}
+
+	receiptsMu.Lock()
+	defer receiptsMu.Unlock()
+	off, okOff := receiptsResults[false]
+	on, okOn := receiptsResults[true]
+	if !okOff || !okOn {
+		b.Log("skipping BENCH_receipts.json: incomplete sweep (smoke run)")
+		return
+	}
+	data, err := json.MarshalIndent(map[string]any{
+		"benchmark": "BenchmarkReceipts",
+		"workload": fmt.Sprintf("avcc (12,9) virtual executor, %dx%d matvec rounds (compute-bound sim); "+
+			"overhead_ratio is receipt-on round latency over receipt-off", rows, cols),
+		"overhead_ratio": on.NsPerRound / off.NsPerRound,
+		"rows":           []receiptsRow{off, on},
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_receipts.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote BENCH_receipts.json")
+}

@@ -152,7 +152,7 @@ func BenchmarkAblationVerifyTrials(b *testing.B) {
 	x := f.RandVec(rng, 600)
 	y := fieldmat.MatVec(f, shard, x)
 	for _, trials := range []int{1, 2, 4, 8} {
-		key := verify.NewAmplifiedKey(f, rng, shard, trials)
+		key := verify.NewAmplifiedKey(f, verify.Seeded(rng), shard, trials)
 		b.Run(map[int]string{1: "t1", 2: "t2", 4: "t4", 8: "t8"}[trials], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -301,7 +301,7 @@ func BenchmarkEncodeKeygen(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, sh := range shards {
-			_ = verify.NewKey(f, rng, sh)
+			_ = verify.NewKey(f, verify.Seeded(rng), sh)
 		}
 	}
 }

@@ -10,11 +10,16 @@
 //
 //	POST /v1/matvec   {"input": [w_0, ..., w_{cols-1}]}  (field elements)
 //	                  → {"output": [...], "used": [...], "byzantine": [...]}
-//	                  The tenant is taken from the X-Tenant header.
+//	                  The tenant is taken from the X-Tenant header. With
+//	                  receipts on (default), sending "X-Receipt: 1" adds
+//	                  "receipt" (base64 of the round's committed-verification
+//	                  receipt) and "receipt_column" (which batch column of it
+//	                  this answer is) — verify offline with cmd/avccverify.
 //	GET  /healthz     liveness probe
-//	GET  /statz       service + per-tenant metrics, plus a per-shard-group
-//	                  section (row span, worker count, live coding state)
-//	                  when the deployment is sharded (JSON)
+//	GET  /statz       service + per-tenant metrics (incl. receipt counters),
+//	                  the public matrix digests receipts are bound to, plus a
+//	                  per-shard-group section (row span, worker count, live
+//	                  coding state) when the deployment is sharded (JSON)
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, queued rounds finish,
 // then the process exits.
@@ -22,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/scheme"
@@ -52,9 +59,10 @@ func main() {
 	batch := flag.Int("batch", scheme.DefaultMaxBatch, "max requests coalesced per coded round")
 	linger := flag.Duration("linger", scheme.DefaultMaxLinger, "max wait to fill a round")
 	seed := flag.Int64("seed", 1, "seed for the synthetic model matrix and coding")
+	receipts := flag.Bool("receipts", true, "issue and audit committed-verification receipts")
 	flag.Parse()
 
-	if err := run(*addr, *schemeName, *rows, *cols, *n, *k, *sBudget, *mBudget, *shards, *batch, *linger, *seed); err != nil {
+	if err := run(*addr, *schemeName, *rows, *cols, *n, *k, *sBudget, *mBudget, *shards, *batch, *linger, *seed, *receipts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -118,13 +126,20 @@ func (s *server) matvec(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"output":    out.Decoded,
 		"used":      out.Used,
 		"byzantine": out.Byzantine,
 		"wall_sec":  out.Breakdown.Wall,
-	})
+	}
+	if r.Header.Get("X-Receipt") == "1" && out.Receipt != nil {
+		// The receipt is opt-in per request: it covers the whole coded round
+		// and is a few KB, so only tenants that verify should pay the bytes.
+		resp["receipt"] = base64.StdEncoding.EncodeToString(commit.EncodeReceipt(out.Receipt))
+		resp["receipt_column"] = out.ReceiptColumn
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // shardStat is one shard group's /statz entry.
@@ -143,6 +158,17 @@ type shardStat struct {
 
 func (s *server) statz(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"service": s.svc.Stats()}
+	if dp, ok := s.master.(commit.DigestProvider); ok {
+		if digests := dp.ReceiptDigests(); digests != nil {
+			// The folded fingerprint per round key: what a tenant pins and
+			// hands to avccverify -digest.
+			folded := make(map[string]string, len(digests))
+			for key, ds := range digests {
+				folded[key] = commit.FoldDigests(ds)
+			}
+			resp["digests"] = folded
+		}
+	}
 	if sm, ok := s.master.(*shard.Master); ok {
 		groups := make([]shardStat, sm.Groups())
 		for g := range groups {
@@ -170,7 +196,7 @@ func (s *server) statz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, batch int, linger time.Duration, seed int64) error {
+func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, batch int, linger time.Duration, seed int64, receipts bool) error {
 	f := field.Default()
 	rng := rand.New(rand.NewSource(seed))
 	x := fieldmat.Rand(f, rng, rows, cols)
@@ -180,6 +206,7 @@ func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, ba
 		scheme.WithBudgets(sBudget, mBudget, 0),
 		scheme.WithSeed(seed),
 		scheme.WithShards(shards),
+		scheme.WithReceipts(receipts),
 	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 	if err != nil {
 		var cfgErr *scheme.InvalidConfigError
@@ -188,7 +215,7 @@ func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, ba
 		}
 		return err
 	}
-	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: batch, MaxLinger: linger})
+	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: batch, MaxLinger: linger, AuditReceipts: receipts})
 
 	srv := newServer(svc, master, f, cols)
 	server := &http.Server{Addr: addr, Handler: srv.handler()}

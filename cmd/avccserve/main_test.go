@@ -9,6 +9,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/scheme"
@@ -26,6 +28,12 @@ import (
 
 // newTestServer deploys a sharded AVCC master behind the HTTP handler.
 func newTestServer(t *testing.T, shards int) (*httptest.Server, *fieldmat.Matrix, *field.Field) {
+	return newReceiptTestServer(t, shards, false)
+}
+
+// newReceiptTestServer is newTestServer with the committed-verification
+// plane switchable.
+func newReceiptTestServer(t *testing.T, shards int, receipts bool) (*httptest.Server, *fieldmat.Matrix, *field.Field) {
 	t.Helper()
 	f := field.Default()
 	rng := rand.New(rand.NewSource(5))
@@ -33,11 +41,12 @@ func newTestServer(t *testing.T, shards int) (*httptest.Server, *fieldmat.Matrix
 	master, err := scheme.New("avcc", f, scheme.NewConfig(
 		scheme.WithSeed(5),
 		scheme.WithShards(shards),
+		scheme.WithReceipts(receipts),
 	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: 8})
+	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: 8, AuditReceipts: receipts})
 	ts := httptest.NewServer(newServer(svc, master, f, x.Cols).handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -46,7 +55,7 @@ func newTestServer(t *testing.T, shards int) (*httptest.Server, *fieldmat.Matrix
 	return ts, x, f
 }
 
-func postMatvec(t *testing.T, url, tenant string, input []field.Elem) *http.Response {
+func postMatvec(t *testing.T, url, tenant string, input []field.Elem, headers ...string) *http.Response {
 	t.Helper()
 	body, err := json.Marshal(map[string]any{"input": input})
 	if err != nil {
@@ -58,6 +67,9 @@ func postMatvec(t *testing.T, url, tenant string, input []field.Elem) *http.Resp
 	}
 	if tenant != "" {
 		req.Header.Set("X-Tenant", tenant)
+	}
+	for i := 0; i+1 < len(headers); i += 2 {
+		req.Header.Set(headers[i], headers[i+1])
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -182,6 +194,123 @@ func TestStatzIsolatesTenantsAndReportsShards(t *testing.T) {
 		if len(sh.Coding) != 2 || sh.Coding[0] != 12 || sh.Coding[1] != 9 {
 			t.Errorf("shard %d coding %v, want [12 9]", g, sh.Coding)
 		}
+	}
+}
+
+// TestServedReceiptVerifiesOffline is the tenant's full journey: request a
+// receipt with the response, pin its digest against the deployment's
+// published one, and verify it with nothing but the receipt bytes — the
+// exact check cmd/avccverify performs.
+func TestServedReceiptVerifiesOffline(t *testing.T) {
+	ts, x, f := newReceiptTestServer(t, 2, true)
+	rng := rand.New(rand.NewSource(9))
+	in := f.RandVec(rng, x.Cols)
+
+	resp := postMatvec(t, ts.URL, "gamma", in, "X-Receipt", "1")
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Output        []field.Elem `json:"output"`
+		Receipt       string       `json:"receipt"`
+		ReceiptColumn int          `json:"receipt_column"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !field.EqualVec(out.Output, fieldmat.MatVec(f, x, in)) {
+		t.Fatal("served output is not the exact matvec")
+	}
+	if out.Receipt == "" {
+		t.Fatal("X-Receipt: 1 response carried no receipt")
+	}
+
+	raw, err := base64.StdEncoding.DecodeString(out.Receipt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := commit.DecodeReceipt(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline verification: nothing below this line touches the server.
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("served receipt rejected: %v", err)
+	}
+	if len(rec.Groups) != 2 {
+		t.Fatalf("receipt has %d groups, want the 2 shard groups", len(rec.Groups))
+	}
+	// The receipt's decoded output column must be the answer we received…
+	col := rec.Groups[0].Outputs[out.ReceiptColumn]
+	col = append(append([]field.Elem{}, col...), rec.Groups[1].Outputs[out.ReceiptColumn]...)
+	if !field.EqualVec(col, out.Output) {
+		t.Fatal("receipt output column differs from the served output")
+	}
+	// …and our input must be the receipt's embedded broadcast column.
+	per := len(rec.Inputs) / rec.Batch
+	if !field.EqualVec(rec.Inputs[out.ReceiptColumn*per:(out.ReceiptColumn+1)*per], in) {
+		t.Fatal("receipt input column differs from the request input")
+	}
+
+	// Digest pinning against the deployment's published fingerprint.
+	var statz struct {
+		Digests map[string]string `json:"digests"`
+		Service struct {
+			Tenants []struct {
+				Tenant   string `json:"Tenant"`
+				Receipts struct {
+					Issued   uint64 `json:"Issued"`
+					Verified uint64 `json:"Verified"`
+					Failed   uint64 `json:"Failed"`
+				} `json:"Receipts"`
+			} `json:"Tenants"`
+		} `json:"service"`
+	}
+	sresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Digests["fwd"] == "" {
+		t.Fatal("/statz publishes no digest for key \"fwd\"")
+	}
+	if got := rec.FoldedDigest(); got != statz.Digests["fwd"] {
+		t.Fatalf("receipt digest %s, deployment publishes %s", got, statz.Digests["fwd"])
+	}
+	found := false
+	for _, tn := range statz.Service.Tenants {
+		if tn.Tenant != "gamma" {
+			continue
+		}
+		found = true
+		if tn.Receipts.Issued != 1 || tn.Receipts.Verified != 1 || tn.Receipts.Failed != 0 {
+			t.Errorf("tenant gamma receipt counters %+v, want 1 issued / 1 verified / 0 failed", tn.Receipts)
+		}
+	}
+	if !found {
+		t.Error("tenant gamma missing from /statz")
+	}
+}
+
+// TestReceiptIsOptIn: without the X-Receipt header the response stays
+// receipt-free even when the deployment issues them.
+func TestReceiptIsOptIn(t *testing.T) {
+	ts, x, f := newReceiptTestServer(t, 1, true)
+	rng := rand.New(rand.NewSource(10))
+	resp := postMatvec(t, ts.URL, "", f.RandVec(rng, x.Cols))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := out["receipt"]; has {
+		t.Fatal("response carried a receipt without the X-Receipt header")
 	}
 }
 

@@ -1,0 +1,195 @@
+// Command avccverify checks a committed-verification receipt fully offline:
+// no cluster, no master, no network — just the receipt bytes and, to pin the
+// data the round claims to have computed on, the deployment's published
+// matrix digest.
+//
+//	# grab a receipt from a serving round and the digest it must bind to
+//	curl -s -H 'X-Receipt: 1' -d '{"input": [...]}' host:8080/v1/matvec \
+//	    | jq -r .receipt > round.receipt
+//	digest=$(curl -s host:8080/statz | jq -r '.digests.fwd')
+//
+//	# verify it on any machine
+//	avccverify -receipt round.receipt -digest "$digest"
+//
+// Verification replays the receipt's Fiat–Shamir transcript, checks every
+// Merkle opening against the embedded digests, and re-runs the
+// challenge-masked Freivalds identities on the decoded outputs. -digest
+// additionally pins the embedded digests to the trusted published value —
+// without it a forged receipt could commit to a different matrix. With
+// -input / -expected, the receipt's claimed input and output for one batch
+// column (-column) are cross-checked against the caller's own copies, closing
+// the loop for a tenant that kept its request and response.
+//
+// Exit status: 0 when the receipt verifies, 1 when it is rejected (inconsistent
+// worker results are listed), 2 on usage errors.
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/commit"
+	"repro/internal/field"
+)
+
+func main() {
+	receiptPath := flag.String("receipt", "", "receipt file: base64 (as served) or raw bytes; '-' reads stdin")
+	digest := flag.String("digest", "", "expected folded matrix digest (from the deployment's /statz); empty skips pinning")
+	column := flag.Int("column", 0, "batch column -input/-expected refer to")
+	inputPath := flag.String("input", "", "optional JSON array of field elements: the input you sent")
+	expectedPath := flag.String("expected", "", "optional JSON array of field elements: the output you received")
+	quiet := flag.Bool("q", false, "suppress the summary, report through the exit status only")
+	flag.Parse()
+
+	if *receiptPath == "" {
+		fmt.Fprintln(os.Stderr, "avccverify: -receipt is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rec, err := loadReceipt(*receiptPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avccverify: %v\n", err)
+		os.Exit(2)
+	}
+
+	if !*quiet {
+		fmt.Printf("receipt: scheme=%s key=%q iter=%d batch=%d gram=%v groups=%d\n",
+			rec.Scheme, rec.RoundKey, rec.Iter, rec.Batch, rec.Gram, len(rec.Groups))
+		fmt.Printf("digest:  %s\n", rec.FoldedDigest())
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "avccverify: REJECTED: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if *digest != "" && !strings.EqualFold(rec.FoldedDigest(), *digest) {
+		fail("receipt is bound to digest %s, expected %s — it does not attest the published matrix",
+			rec.FoldedDigest(), *digest)
+	}
+	if err := rec.Verify(); err != nil {
+		var bad *commit.BadWorkersError
+		if errors.As(err, &bad) {
+			fail("%v", bad)
+		}
+		fail("%v", err)
+	}
+	if *inputPath != "" {
+		vec, err := loadVector(*inputPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avccverify: %v\n", err)
+			os.Exit(2)
+		}
+		if err := checkInputColumn(rec, *column, vec); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *expectedPath != "" {
+		vec, err := loadVector(*expectedPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avccverify: %v\n", err)
+			os.Exit(2)
+		}
+		if err := checkOutputColumn(rec, *column, vec); err != nil {
+			fail("%v", err)
+		}
+	}
+	if !*quiet {
+		fmt.Println("OK: receipt verifies — the decoded outputs are what the committed data produces")
+	}
+}
+
+// loadReceipt reads and decodes a receipt, accepting both the base64 text the
+// serving API returns and raw encoded bytes.
+func loadReceipt(path string) (*commit.Receipt, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if raw, b64err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(data))); b64err == nil {
+		data = raw
+	}
+	rec, err := commit.DecodeReceipt(data)
+	if err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func loadVector(path string) ([]field.Elem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var vec []field.Elem
+	if err := json.Unmarshal(data, &vec); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return vec, nil
+}
+
+// checkInputColumn compares the caller's input vector against the receipt's
+// embedded broadcast column.
+func checkInputColumn(rec *commit.Receipt, column int, vec []field.Elem) error {
+	if rec.Gram {
+		return fmt.Errorf("gram receipts carry no inputs to cross-check")
+	}
+	if column < 0 || column >= rec.Batch {
+		return fmt.Errorf("column %d outside the receipt's batch of %d", column, rec.Batch)
+	}
+	per := len(rec.Inputs) / rec.Batch
+	if len(vec) != per {
+		return fmt.Errorf("your input has %d elements, the round's inputs have %d", len(vec), per)
+	}
+	got := rec.Inputs[column*per : (column+1)*per]
+	for i := range vec {
+		if vec[i] != got[i] {
+			return fmt.Errorf("receipt input column %d differs from yours at element %d (receipt %d, yours %d)",
+				column, i, got[i], vec[i])
+		}
+	}
+	return nil
+}
+
+// checkOutputColumn compares the caller's received output against the
+// receipt's decoded outputs: the concatenation of the groups' column-c
+// vectors, exactly how the shard plane assembles responses.
+func checkOutputColumn(rec *commit.Receipt, column int, vec []field.Elem) error {
+	col := column
+	if rec.Gram {
+		col = 0
+	}
+	if col < 0 || col >= rec.Batch {
+		return fmt.Errorf("column %d outside the receipt's batch of %d", col, rec.Batch)
+	}
+	off := 0
+	for gi, g := range rec.Groups {
+		out := g.Outputs[col]
+		if off+len(out) > len(vec) {
+			return fmt.Errorf("receipt outputs have %d+ elements, yours has %d", off+len(out), len(vec))
+		}
+		for i := range out {
+			if vec[off+i] != out[i] {
+				return fmt.Errorf("receipt output column %d differs from yours at element %d (group %d: receipt %d, yours %d)",
+					col, off+i, gi, out[i], vec[off+i])
+			}
+		}
+		off += len(out)
+	}
+	if off != len(vec) {
+		return fmt.Errorf("receipt outputs have %d elements, yours has %d", off, len(vec))
+	}
+	return nil
+}

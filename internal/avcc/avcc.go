@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/lcc"
@@ -85,6 +86,17 @@ type Options struct {
 	// encoded datasets for multiple coding configurations offline: when
 	// set, a re-code charges only shard redistribution, not re-encoding.
 	PregeneratedCodings bool
+	// Receipts turns on the committed-verification plane: the master
+	// Merkle-commits every data matrix once, workers ship output
+	// commitments, and every round issues a tenant-verifiable
+	// commit.Receipt. Requires T == 0 (the receipt's attribution step
+	// interpolates over the systematic points; privacy masks would make the
+	// committed data unpredictable from the digest).
+	Receipts bool
+	// DeterministicKeys derives the secret Freivalds vectors from Seed
+	// instead of the crypto/rand default — for reproducible tests and
+	// benchmarks only; a guessable key voids the verification guarantee.
+	DeterministicKeys bool
 }
 
 // Master is the AVCC main server.
@@ -114,7 +126,10 @@ type Master struct {
 	codePos map[int]int
 	// keys[key][workerID] is the Freivalds key for that worker's shard.
 	keys        map[string][]*verify.AmplifiedKey
+	keySrc      verify.Source
 	quarantined map[int]bool
+	// issuer builds round receipts when Options.Receipts is set.
+	issuer *commit.Issuer
 
 	// Per-iteration observations feeding the adaptation rule.
 	iterByzantine  map[int]bool
@@ -150,8 +165,21 @@ func NewMaster(f *field.Field, opt Options, data map[string]*fieldmat.Matrix,
 		workers:     make([]*cluster.Worker, opt.N),
 		quarantined: make(map[int]bool),
 	}
+	m.keySrc = verify.Crypto()
+	if opt.DeterministicKeys {
+		m.keySrc = verify.Seeded(m.rng)
+	}
+	if opt.Receipts {
+		if opt.T > 0 {
+			return nil, fmt.Errorf("avcc: receipts require T == 0 (got T = %d)", opt.T)
+		}
+		m.issuer = commit.NewIssuer(f, m.Name())
+	}
 	for key, x := range data {
 		m.origRows[key] = x.Rows
+		if m.issuer != nil {
+			m.issuer.Commit(key, x)
+		}
 	}
 	for i := range m.workers {
 		m.workers[i] = cluster.NewWorker(i)
@@ -166,9 +194,20 @@ func NewMaster(f *field.Field, opt Options, data map[string]*fieldmat.Matrix,
 	if _, _, err := m.installCoding(opt.N, opt.K); err != nil {
 		return nil, err
 	}
-	m.exec = cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve := cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve.CommitOutputs = opt.Receipts
+	m.exec = ve
 	m.resetIterObservations()
 	return m, nil
+}
+
+// ReceiptDigests implements commit.DigestProvider: the public digest of
+// every committed round key (nil when receipts are disabled).
+func (m *Master) ReceiptDigests() map[string][]commit.Digest {
+	if m.issuer == nil {
+		return nil
+	}
+	return m.issuer.Digests()
 }
 
 // SetExecutor swaps the executor (tests and real-transport runs).
@@ -222,7 +261,7 @@ func (m *Master) installCoding(n, k int) (encodeOps, distElems float64, err erro
 		keys := make([]*verify.AmplifiedKey, len(m.workers))
 		for pos, id := range m.active {
 			m.workers[id].Shards[key] = shards[pos]
-			keys[id] = verify.NewAmplifiedKey(m.f, m.rng, shards[pos], trials)
+			keys[id] = verify.NewAmplifiedKey(m.f, m.keySrc, shards[pos], trials)
 			distElems += shardElems
 		}
 		// Key generation is trials × one pass over the shard.
@@ -278,6 +317,7 @@ func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field
 	var masterFree float64 // when the master finishes its current check
 	var verifiedWorkers []int
 	var verifiedOutputs [][]field.Elem
+	var verifiedCommits [][]byte
 	var maxCompute, maxComm float64
 	var processedArrivals []float64
 
@@ -301,6 +341,7 @@ func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field
 		if m.keys[key][r.Worker].CheckBatch(packed, r.Output, batch) {
 			verifiedWorkers = append(verifiedWorkers, r.Worker)
 			verifiedOutputs = append(verifiedOutputs, r.Output)
+			verifiedCommits = append(verifiedCommits, r.Commit)
 			if r.ComputeSec > maxCompute {
 				maxCompute = r.ComputeSec
 			}
@@ -335,6 +376,30 @@ func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field
 
 	out.Outputs = cluster.UnpackBlocks(blocks, batch, m.origRows[key])
 	out.Used = verifiedWorkers
+
+	if m.issuer != nil {
+		// The receipt binds exactly what the decode consumed: the verified
+		// threshold set, at the CURRENT (possibly re-coded) split.
+		rw := make([]commit.RoundWorker, len(verifiedWorkers))
+		alphas := m.code.Alphas()
+		for i, id := range verifiedWorkers {
+			rw[i] = commit.RoundWorker{
+				ID:     id,
+				Alpha:  alphas[m.codePos[id]],
+				Output: verifiedOutputs[i],
+				Commit: verifiedCommits[i],
+			}
+		}
+		rec, rerr := m.issuer.Issue(commit.Round{
+			Key: key, Iter: iter, Batch: batch,
+			K: m.kCur, BlockRows: (m.origRows[key] + m.kCur - 1) / m.kCur,
+			Inputs: packed, Outputs: out.Outputs, Workers: rw,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("avcc: receipt: %w", rerr)
+		}
+		out.Receipt = rec
+	}
 
 	// Observed stragglers S_t: workers whose results arrived (or would
 	// arrive) anomalously late relative to the round's typical arrival.

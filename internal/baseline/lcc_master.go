@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/lcc"
@@ -28,6 +29,11 @@ type LCCOptions struct {
 	Sim simnet.Config
 	// Seed drives privacy masks and the error-locating projection.
 	Seed int64
+	// Receipts turns on the committed-verification plane: workers commit to
+	// their outputs and every round carries a tenant-verifiable receipt.
+	// Requires T == 0 (masked shards are not openable against the public
+	// matrix digest) and DegF == 1.
+	Receipts bool
 }
 
 // LCCMaster is the paper's baseline: it waits for N−S results (it cannot
@@ -47,6 +53,7 @@ type LCCMaster struct {
 	workers  []*cluster.Worker
 	exec     cluster.Executor
 	origRows map[string]int
+	issuer   *commit.Issuer
 }
 
 // NewLCCMaster encodes data at (N, K, T) and wires up the virtual cluster.
@@ -77,6 +84,15 @@ func NewLCCMaster(f *field.Field, opt LCCOptions, data map[string]*fieldmat.Matr
 		workers:  make([]*cluster.Worker, opt.N),
 		origRows: make(map[string]int, len(data)),
 	}
+	if opt.Receipts {
+		if opt.T > 0 {
+			return nil, fmt.Errorf("baseline: receipts require T == 0 (got T = %d)", opt.T)
+		}
+		if opt.DegF != 1 {
+			return nil, fmt.Errorf("baseline: receipts require DegF == 1 (got DegF = %d)", opt.DegF)
+		}
+		m.issuer = commit.NewIssuer(f, m.Name())
+	}
 	for i := range m.workers {
 		m.workers[i] = cluster.NewWorker(i)
 		if behaviors != nil {
@@ -85,6 +101,9 @@ func NewLCCMaster(f *field.Field, opt LCCOptions, data map[string]*fieldmat.Matr
 	}
 	for key, x := range data {
 		m.origRows[key] = x.Rows
+		if m.issuer != nil {
+			m.issuer.Commit(key, x)
+		}
 		padded := fieldmat.PadRows(x, opt.K)
 		shards, err := code.EncodeMatrix(padded, m.rng)
 		if err != nil {
@@ -94,8 +113,19 @@ func NewLCCMaster(f *field.Field, opt LCCOptions, data map[string]*fieldmat.Matr
 			m.workers[i].Shards[key] = sh
 		}
 	}
-	m.exec = cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve := cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve.CommitOutputs = opt.Receipts
+	m.exec = ve
 	return m, nil
+}
+
+// ReceiptDigests implements commit.DigestProvider: the public digest of
+// every committed round key (nil when receipts are disabled).
+func (m *LCCMaster) ReceiptDigests() map[string][]commit.Digest {
+	if m.issuer == nil {
+		return nil
+	}
+	return m.issuer.Digests()
 }
 
 // SetExecutor swaps the executor (tests and real-transport runs).
@@ -153,12 +183,14 @@ func (m *LCCMaster) RunRoundBatch(ctx context.Context, key string, inputs [][]fi
 	var lastArrival, maxCompute, maxComm float64
 	workers := make([]int, wait)
 	outputs := make([][]field.Elem, wait)
+	commits := make([][]byte, wait)
 	for i, r := range used {
 		if r.Err != nil {
 			return nil, fmt.Errorf("baseline: worker %d failed: %w", r.Worker, r.Err)
 		}
 		workers[i] = r.Worker
 		outputs[i] = r.Output
+		commits[i] = r.Commit
 		if r.ArriveAt > lastArrival {
 			lastArrival = r.ArriveAt
 		}
@@ -177,6 +209,7 @@ func (m *LCCMaster) RunRoundBatch(ctx context.Context, key string, inputs [][]fi
 	decodeOps := float64(wait)*float64(len(outputs[0])) + // projection
 		float64(wait*wait*wait) + // BW linear system
 		float64(threshold)*float64(batch*m.origRows[key]+threshold) // interpolation
+	fellBack := false
 	if err != nil {
 		// Over-budget corruption: fall back to erasure-only decoding on the
 		// fastest threshold results. Byzantine contributions pass through.
@@ -185,6 +218,7 @@ func (m *LCCMaster) RunRoundBatch(ctx context.Context, key string, inputs [][]fi
 			return nil, fmt.Errorf("baseline: fallback decode: %w", err)
 		}
 		bad = nil
+		fellBack = true
 	}
 	decodeTime := m.opt.Sim.MasterTime(decodeOps)
 
@@ -192,6 +226,44 @@ func (m *LCCMaster) RunRoundBatch(ctx context.Context, key string, inputs [][]fi
 	out.Used = workers
 	for _, pos := range bad {
 		out.Byzantine = append(out.Byzantine, workers[pos])
+	}
+
+	if m.issuer != nil {
+		// The receipt attests exactly the contributions the decode consumed.
+		// On the corrected path the located-bad workers were excluded by the
+		// Reed–Solomon solve, so they are excluded here too; on the
+		// over-budget fallback the corrupt outputs DID flow into the decode,
+		// so they stay in the receipt — and receipt verification is what
+		// exposes them to the tenant.
+		recWorkers, recOutputs, recCommits := workers, outputs, commits
+		if fellBack {
+			recWorkers = workers[:threshold]
+			recOutputs = outputs[:threshold]
+			recCommits = commits[:threshold]
+		}
+		located := make(map[int]bool, len(bad))
+		for _, pos := range bad {
+			located[pos] = true
+		}
+		alphas := m.code.Alphas()
+		rw := make([]commit.RoundWorker, 0, len(recWorkers))
+		for i, id := range recWorkers {
+			if located[i] {
+				continue
+			}
+			rw = append(rw, commit.RoundWorker{
+				ID: id, Alpha: alphas[id], Output: recOutputs[i], Commit: recCommits[i],
+			})
+		}
+		rec, rerr := m.issuer.Issue(commit.Round{
+			Key: key, Iter: iter, Batch: batch,
+			K: m.opt.K, BlockRows: (m.origRows[key] + m.opt.K - 1) / m.opt.K,
+			Inputs: packed, Outputs: out.Outputs, Workers: rw,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("baseline: receipt: %w", rerr)
+		}
+		out.Receipt = rec
 	}
 	out.Breakdown.Compute = maxCompute
 	out.Breakdown.Comm = maxComm

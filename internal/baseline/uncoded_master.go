@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/simnet"
@@ -20,6 +21,13 @@ type UncodedOptions struct {
 	Sim simnet.Config
 	// Seed feeds the executor's jitter stream.
 	Seed int64
+	// Receipts turns on the committed-verification plane: workers commit to
+	// their outputs and every round carries a tenant-verifiable receipt. The
+	// uncoded split is the systematic K-block code (worker i evaluates at
+	// point i+1), so the same receipt protocol covers it unchanged — and
+	// since the scheme itself never verifies anything, the receipt is the
+	// ONLY way a tenant catches a Byzantine worker here.
+	Receipts bool
 }
 
 // UncodedMaster is the conventional scheme: no redundancy, so the master
@@ -35,6 +43,7 @@ type UncodedMaster struct {
 	// blockRows[key] is the padded per-worker row count, needed to stitch
 	// results back in worker order.
 	blockRows map[string]int
+	issuer    *commit.Issuer
 }
 
 // NewUncodedMaster splits each data matrix into K contiguous uncoded row
@@ -63,8 +72,14 @@ func NewUncodedMaster(f *field.Field, opt UncodedOptions, data map[string]*field
 			m.workers[i].Behavior = behaviors[i]
 		}
 	}
+	if opt.Receipts {
+		m.issuer = commit.NewIssuer(f, m.Name())
+	}
 	for key, x := range data {
 		m.origRows[key] = x.Rows
+		if m.issuer != nil {
+			m.issuer.Commit(key, x)
+		}
 		padded := fieldmat.PadRows(x, opt.K)
 		blocks := fieldmat.SplitRows(padded, opt.K)
 		m.blockRows[key] = blocks[0].Rows
@@ -72,8 +87,19 @@ func NewUncodedMaster(f *field.Field, opt UncodedOptions, data map[string]*field
 			m.workers[i].Shards[key] = b
 		}
 	}
-	m.exec = cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve := cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve.CommitOutputs = opt.Receipts
+	m.exec = ve
 	return m, nil
+}
+
+// ReceiptDigests implements commit.DigestProvider: the public digest of
+// every committed round key (nil when receipts are disabled).
+func (m *UncodedMaster) ReceiptDigests() map[string][]commit.Digest {
+	if m.issuer == nil {
+		return nil
+	}
+	return m.issuer.Digests()
 }
 
 // SetExecutor swaps the executor (tests and real-transport runs).
@@ -132,6 +158,13 @@ func (m *UncodedMaster) RunRoundBatch(ctx context.Context, key string, inputs []
 		concat[c] = make([]field.Elem, m.opt.K*blockLen)
 	}
 	var lastArrival, maxCompute, maxComm float64
+	var rw []commit.RoundWorker
+	var alphas []field.Elem
+	if m.issuer != nil {
+		// The uncoded split IS the systematic part of the block code: worker
+		// i holds block i, i.e. the evaluation at interpolation point i+1.
+		alphas = m.f.DistinctPoints(m.opt.K, 1)
+	}
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("baseline: worker %d failed: %w", r.Worker, r.Err)
@@ -142,6 +175,11 @@ func (m *UncodedMaster) RunRoundBatch(ctx context.Context, key string, inputs []
 		}
 		for c := 0; c < batch; c++ {
 			copy(concat[c][r.Worker*blockLen:], r.Output[c*blockLen:(c+1)*blockLen])
+		}
+		if m.issuer != nil {
+			rw = append(rw, commit.RoundWorker{
+				ID: r.Worker, Alpha: alphas[r.Worker], Output: r.Output, Commit: r.Commit,
+			})
 		}
 		out.Used = append(out.Used, r.Worker)
 		if r.ArriveAt > lastArrival {
@@ -156,6 +194,17 @@ func (m *UncodedMaster) RunRoundBatch(ctx context.Context, key string, inputs []
 	}
 	for c := 0; c < batch; c++ {
 		out.Outputs[c] = concat[c][:m.origRows[key]]
+	}
+	if m.issuer != nil {
+		rec, rerr := m.issuer.Issue(commit.Round{
+			Key: key, Iter: iter, Batch: batch,
+			K: m.opt.K, BlockRows: blockLen,
+			Inputs: packed, Outputs: out.Outputs, Workers: rw,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("baseline: receipt: %w", rerr)
+		}
+		out.Receipt = rec
 	}
 	out.Breakdown.Compute = maxCompute
 	out.Breakdown.Comm = maxComm

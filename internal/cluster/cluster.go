@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/simnet"
@@ -168,6 +169,9 @@ func (w *Worker) Compute(f *field.Field, key string, input []field.Elem, batch, 
 type Result struct {
 	Worker int
 	Output []field.Elem
+	// Commit is the worker's Merkle commitment to Output (commit.OutputRoot),
+	// present only when the executor runs with output commitments enabled.
+	Commit []byte
 	// ComputeSec is the worker's compute time (virtual or measured).
 	ComputeSec float64
 	// CommSec is the total link time (input broadcast + result return).
@@ -205,6 +209,9 @@ type VirtualExecutor struct {
 	// curves, link degradation, crashes, drops); nil means the steady
 	// world.
 	Dynamics simnet.Dynamics
+	// CommitOutputs makes every worker ship a Merkle commitment to its
+	// output alongside the result (the committed-verification plane).
+	CommitOutputs bool
 }
 
 // NewVirtualExecutor wires up a virtual cluster. stragglers may be nil for
@@ -265,6 +272,9 @@ func (e *VirtualExecutor) RunRound(ctx context.Context, key string, input []fiel
 			ArriveAt:   sendIn + compute + sendOut,
 			Err:        err,
 		}
+		if e.CommitOutputs && err == nil {
+			res.Commit = commit.OutputRoot(out)
+		}
 		q.Push(res.ArriveAt, id, res)
 	}
 	results := make([]Result, 0, len(active))
@@ -294,6 +304,9 @@ type GoExecutor struct {
 	// steady world. Crashed workers spawn no goroutine; dropped results are
 	// computed but never delivered.
 	Dynamics simnet.Dynamics
+	// CommitOutputs makes every worker ship a Merkle commitment to its
+	// output alongside the result.
+	CommitOutputs bool
 }
 
 // RunRound implements Executor with real concurrency; results are ordered
@@ -338,11 +351,16 @@ func (e *GoExecutor) RunRound(ctx context.Context, key string, input []field.Ele
 					return // computed, but the message never arrives
 				}
 			}
+			var root []byte
+			if e.CommitOutputs && err == nil {
+				root = commit.OutputRoot(out)
+			}
 			elapsed := time.Since(t0).Seconds()
 			mu.Lock()
 			results = append(results, Result{
 				Worker:     id,
 				Output:     out,
+				Commit:     root,
 				ComputeSec: elapsed,
 				ArriveAt:   time.Since(start).Seconds(),
 				Err:        err,

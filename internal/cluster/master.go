@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/metrics"
 )
@@ -32,6 +33,13 @@ type RoundOutput struct {
 	// StragglersObserved counts active workers the master did not need to
 	// wait for (their results were still in flight when decoding started).
 	StragglersObserved int
+	// Receipt is the round's committed-verification receipt (nil when the
+	// master runs with receipts disabled). A batched round issues ONE receipt
+	// covering the whole batch; ReceiptColumn says which receipt batch column
+	// this output is (always 0 for Gram rounds, whose single decode is shared
+	// by every batch entry).
+	Receipt       *commit.Receipt
+	ReceiptColumn int
 }
 
 // BatchOutput is what a master returns from one batched round: the decoded
@@ -55,18 +63,29 @@ type BatchOutput struct {
 	// StragglersObserved counts active workers the master did not need to
 	// wait for.
 	StragglersObserved int
+	// Receipt is the round's committed-verification receipt, covering every
+	// batch column at once (nil when receipts are disabled).
+	Receipt *commit.Receipt
 }
 
 // Round projects one batch entry into a stand-alone RoundOutput. The shared
-// accounting slices are aliased, not copied: treat them as read-only.
+// accounting slices (and the receipt) are aliased, not copied: treat them as
+// read-only.
 func (b *BatchOutput) Round(i int) *RoundOutput {
-	return &RoundOutput{
+	out := &RoundOutput{
 		Decoded:            b.Outputs[i],
 		Breakdown:          b.Breakdown,
 		Used:               b.Used,
 		Byzantine:          b.Byzantine,
 		StragglersObserved: b.StragglersObserved,
+		Receipt:            b.Receipt,
 	}
+	// An input-free Gram round serves the whole batch from one decode: its
+	// receipt has Batch == 1 and every entry reads column 0.
+	if b.Receipt != nil && i < b.Receipt.Batch {
+		out.ReceiptColumn = i
+	}
+	return out
 }
 
 // Master is the protocol-side interface the application layer (logistic

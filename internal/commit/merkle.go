@@ -1,0 +1,181 @@
+// Package commit is the committed-verification plane of the repository: a
+// Merkle commitment over the master's data matrix (columns of a rate-1/2
+// systematic Reed–Solomon row extension), Merkle commitments over each
+// worker's coded output, a deterministic Fiat–Shamir transcript deriving
+// challenge scalars from everything absorbed so far, and a serializable
+// per-round Receipt a tenant can verify fully offline against nothing but
+// the public matrix digest.
+//
+// The construction follows the DECS/LVCS shape of SNIPPETS.md §1 (SPRUCE):
+// commit to an encoding of the data, derive random linear-combination
+// challenges by hashing the commitments, open the combinations, and
+// spot-check them against Merkle-authenticated leaves. See DESIGN.md §10
+// for the exact mapping and the soundness bound.
+package commit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/field"
+)
+
+// HashSize is the byte length of every digest in this package (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one SHA-256 digest.
+type Hash [HashSize]byte
+
+// Leaf and interior nodes hash under distinct first bytes so an interior
+// node can never be reinterpreted as a leaf (second-preimage hardening);
+// leaves additionally carry a domain string ("col" for matrix columns,
+// "out" for worker output entries) and their index, so no leaf of one tree
+// collides with a leaf of another.
+const (
+	leafTag = 0x00
+	nodeTag = 0x01
+)
+
+func putUvarint(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	h.Write(buf[:n])
+}
+
+func hashLeaf(domain string, index int, payload []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafTag})
+	putUvarint(h, uint64(len(domain)))
+	h.Write([]byte(domain))
+	putUvarint(h, uint64(index))
+	h.Write(payload)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func hashNode(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodeTag})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// elemBytes serialises field elements as fixed 8-byte little-endian words —
+// the canonical byte form used by every leaf and every transcript absorb.
+func elemBytes(vs []field.Elem) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// ColumnLeaf hashes one committed matrix column (domain "col").
+func ColumnLeaf(index int, values []field.Elem) Hash {
+	return hashLeaf("col", index, elemBytes(values))
+}
+
+// OutputLeaf hashes one entry of a worker's coded output (domain "out").
+func OutputLeaf(index int, value field.Elem) Hash {
+	return hashLeaf("out", index, elemBytes([]field.Elem{value}))
+}
+
+// Tree is a Merkle tree over a fixed leaf sequence. An odd node at any
+// level is promoted unchanged to the next level (no self-pairing), so path
+// verification needs the leaf count — which every consumer in this package
+// carries alongside the root.
+type Tree struct {
+	// levels[0] are the leaf hashes; the last level is the single root.
+	levels [][]Hash
+}
+
+// NewTree builds the tree; it panics on zero leaves (nothing in this
+// package commits to an empty sequence).
+func NewTree(leaves []Hash) *Tree {
+	if len(leaves) == 0 {
+		panic("commit: merkle tree needs at least one leaf")
+	}
+	levels := [][]Hash{append([]Hash(nil), leaves...)}
+	for cur := levels[0]; len(cur) > 1; {
+		next := make([]Hash, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, hashNode(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return &Tree{levels: levels}
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() Hash { return t.levels[len(t.levels)-1][0] }
+
+// Leaves returns the leaf count.
+func (t *Tree) Leaves() int { return len(t.levels[0]) }
+
+// Path returns the authentication path for leaf i: the sibling hash at each
+// level, bottom up, with levels where the node is an unpaired promotion
+// simply skipped.
+func (t *Tree) Path(i int) []Hash {
+	var path []Hash
+	for _, lvl := range t.levels[:len(t.levels)-1] {
+		if sib := i ^ 1; sib < len(lvl) {
+			path = append(path, lvl[sib])
+		}
+		i >>= 1
+	}
+	return path
+}
+
+// VerifyPath checks that leaf sits at index within a tree of the given leaf
+// count whose root is root. The path must be exactly as long as the number
+// of paired levels — extra or missing siblings fail.
+func VerifyPath(root Hash, leaves, index int, leaf Hash, path []Hash) bool {
+	if leaves < 1 || index < 0 || index >= leaves {
+		return false
+	}
+	cur, pi := leaf, 0
+	for cnt := leaves; cnt > 1; cnt = (cnt + 1) / 2 {
+		if sib := index ^ 1; sib < cnt {
+			if pi >= len(path) {
+				return false
+			}
+			if index&1 == 0 {
+				cur = hashNode(cur, path[pi])
+			} else {
+				cur = hashNode(path[pi], cur)
+			}
+			pi++
+		}
+		index >>= 1
+	}
+	return pi == len(path) && cur == root
+}
+
+// outputTree builds the Merkle tree a worker commits its coded output under:
+// one "out"-domain leaf per output entry.
+func outputTree(out []field.Elem) *Tree {
+	leaves := make([]Hash, len(out))
+	for i, v := range out {
+		leaves[i] = OutputLeaf(i, v)
+	}
+	return NewTree(leaves)
+}
+
+// OutputRoot is the worker-side commitment to a coded output: the root of
+// the output tree, as raw bytes ready for a wire message. Executors call
+// this before the result leaves the worker.
+func OutputRoot(out []field.Elem) []byte {
+	if len(out) == 0 {
+		return nil
+	}
+	r := outputTree(out).Root()
+	return r[:]
+}

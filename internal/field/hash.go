@@ -1,0 +1,32 @@
+package field
+
+import "encoding/binary"
+
+// Hash-to-field support for the Fiat–Shamir transcripts of internal/commit:
+// deterministic byte streams (hash outputs) are mapped to uniform field
+// elements with the same rejection-sampling discipline Rand uses for seeded
+// streams, so transcript-derived challenges carry the full 1/q soundness of
+// honestly random ones.
+
+// uniform64Limit returns the largest multiple of q representable in uint64;
+// values below it reduce to exactly uniform residues.
+func (f *Field) uniform64Limit() uint64 {
+	return ^uint64(0) / f.q * f.q
+}
+
+// FromUniform64 maps a uniform uint64 draw to a field element by rejection
+// sampling: ok reports whether v was accepted. Rejections happen with
+// probability < q/2^64 (< 2^-39 for any q < 2^25), so callers simply move to
+// the next draw.
+func (f *Field) FromUniform64(v uint64) (Elem, bool) {
+	if v >= f.uniform64Limit() {
+		return 0, false
+	}
+	return v % f.q, true
+}
+
+// FromUniformBytes interprets b as a little-endian uint64 and rejection-
+// samples it into the field (see FromUniform64).
+func (f *Field) FromUniformBytes(b [8]byte) (Elem, bool) {
+	return f.FromUniform64(binary.LittleEndian.Uint64(b[:]))
+}

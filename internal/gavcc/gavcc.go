@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/lcc"
@@ -48,6 +49,12 @@ type Options struct {
 	Sim simnet.Config
 	// Seed drives masks, keys and jitter.
 	Seed int64
+	// Receipts turns on the committed-verification plane (requires T == 0,
+	// as in the AVCC master).
+	Receipts bool
+	// DeterministicKeys derives the secret Freivalds vectors from Seed
+	// instead of the crypto/rand default — tests and benchmarks only.
+	DeterministicKeys bool
 }
 
 // Feasible reports eq. (2) at deg f = 2.
@@ -67,6 +74,8 @@ type Master struct {
 	blockRows int
 	origRows  int
 	blocks    []*fieldmat.Matrix // the true data blocks (for sizing/tests)
+	// issuer builds round receipts when Options.Receipts is set.
+	issuer *commit.Issuer
 }
 
 // Result is one completed Gram round.
@@ -78,6 +87,9 @@ type Result struct {
 	Breakdown metrics.Breakdown
 	Used      []int
 	Byzantine []int
+	// Receipt is the round's committed-verification receipt (nil when
+	// receipts are disabled).
+	Receipt *commit.Receipt
 }
 
 // NewMaster encodes x (split into K row blocks, zero-padded to
@@ -114,6 +126,17 @@ func NewMaster(f *field.Field, opt Options, x *fieldmat.Matrix,
 		origRows:  x.Rows,
 		blocks:    blocks,
 	}
+	if opt.Receipts {
+		if opt.T > 0 {
+			return nil, fmt.Errorf("gavcc: receipts require T == 0 (got T = %d)", opt.T)
+		}
+		m.issuer = commit.NewIssuer(f, m.Name())
+		m.issuer.Commit(GramKey, x)
+	}
+	keySrc := verify.Source(verify.Crypto())
+	if opt.DeterministicKeys {
+		keySrc = verify.Seeded(rng)
+	}
 	for i := range m.workers {
 		w := cluster.NewWorker(i)
 		w.Shards[GramKey] = shards[i]
@@ -122,10 +145,21 @@ func NewMaster(f *field.Field, opt Options, x *fieldmat.Matrix,
 			w.Behavior = behaviors[i]
 		}
 		m.workers[i] = w
-		m.keys[i] = verify.NewGramKey(f, rng, shards[i])
+		m.keys[i] = verify.NewGramKey(f, keySrc, shards[i])
 	}
-	m.exec = cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve := cluster.NewVirtualExecutor(f, opt.Sim, m.workers, stragglers, opt.Seed+1)
+	ve.CommitOutputs = opt.Receipts
+	m.exec = ve
 	return m, nil
+}
+
+// ReceiptDigests implements commit.DigestProvider (nil when receipts are
+// disabled).
+func (m *Master) ReceiptDigests() map[string][]commit.Digest {
+	if m.issuer == nil {
+		return nil
+	}
+	return m.issuer.Digests()
 }
 
 // SetExecutor swaps the executor (real-transport runs).
@@ -162,6 +196,7 @@ func (m *Master) RunRound(ctx context.Context, key string, input []field.Elem, i
 		Breakdown: res.Breakdown,
 		Used:      res.Used,
 		Byzantine: res.Byzantine,
+		Receipt:   res.Receipt,
 	}
 	for _, g := range res.Blocks {
 		out.Decoded = append(out.Decoded, g.Data...)
@@ -193,6 +228,7 @@ func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field
 		Used:               round.Used,
 		Byzantine:          round.Byzantine,
 		StragglersObserved: round.StragglersObserved,
+		Receipt:            round.Receipt,
 	}
 	// Each entry gets its own copy: Decoded is caller-private per the
 	// Future/RoundOutput contract (only the accounting slices are shared),
@@ -224,6 +260,7 @@ func (m *Master) Run(ctx context.Context, iter int) (*Result, error) {
 	var masterFree float64
 	var verifiedWorkers []int
 	var verifiedOutputs [][]field.Elem
+	var verifiedCommits [][]byte
 	var maxCompute, maxComm float64
 	b := m.blockRows
 
@@ -246,6 +283,7 @@ func (m *Master) Run(ctx context.Context, iter int) (*Result, error) {
 		if m.keys[r.Worker].Check(r.Output) {
 			verifiedWorkers = append(verifiedWorkers, r.Worker)
 			verifiedOutputs = append(verifiedOutputs, r.Output)
+			verifiedCommits = append(verifiedCommits, r.Commit)
 			if r.ComputeSec > maxCompute {
 				maxCompute = r.ComputeSec
 			}
@@ -274,6 +312,35 @@ func (m *Master) Run(ctx context.Context, iter int) (*Result, error) {
 		out.Blocks[j] = g
 	}
 	out.Used = verifiedWorkers
+
+	if m.issuer != nil {
+		flat := make([]field.Elem, 0, m.opt.K*b*b)
+		for _, blk := range decoded {
+			flat = append(flat, blk...)
+		}
+		// Worker IDs ARE code positions here (the Gram master never
+		// re-codes), so each worker's evaluation point is Alphas()[id].
+		alphas := m.code.Alphas()
+		rw := make([]commit.RoundWorker, len(verifiedWorkers))
+		for i, id := range verifiedWorkers {
+			rw[i] = commit.RoundWorker{
+				ID:     id,
+				Alpha:  alphas[id],
+				Output: verifiedOutputs[i],
+				Commit: verifiedCommits[i],
+			}
+		}
+		rec, rerr := m.issuer.Issue(commit.Round{
+			Key: GramKey, Iter: iter, Batch: 1, Gram: true,
+			K: m.opt.K, BlockRows: b,
+			Outputs: [][]field.Elem{flat}, Workers: rw,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("gavcc: receipt: %w", rerr)
+		}
+		out.Receipt = rec
+	}
+
 	out.Breakdown.Compute = maxCompute
 	out.Breakdown.Comm = maxComm
 	out.Breakdown.Decode = decodeTime

@@ -59,6 +59,23 @@ func (b Breakdown) String() string {
 		b.Compute, b.Comm, b.Verify, b.Decode, b.Wall)
 }
 
+// ReceiptCounters tracks the committed-verification plane for one tenant:
+// how many round receipts were issued with its outputs, and — when the
+// serving layer audits them — how many verified or failed. Verified+Failed
+// can trail Issued when auditing is off.
+type ReceiptCounters struct {
+	Issued   uint64
+	Verified uint64
+	Failed   uint64
+}
+
+// Add accumulates another set of counters.
+func (c *ReceiptCounters) Add(o ReceiptCounters) {
+	c.Issued += o.Issued
+	c.Verified += o.Verified
+	c.Failed += o.Failed
+}
+
 // IterationRecord captures one training iteration of one scheme.
 type IterationRecord struct {
 	Iter int

@@ -1,0 +1,18 @@
+package poly
+
+import "repro/internal/field"
+
+// Evaluation openings: the commitment layer (internal/commit) treats a
+// length-n vector as the values of the unique degree-<n interpolant over a
+// fixed point set and opens it at out-of-set targets — the systematic
+// Reed–Solomon extension that makes linear-combination claims spot-checkable
+// (a wrong claim disagrees with the true codeword on more than half of a
+// rate-1/2 extension).
+
+// EvalOpening returns the value at target of the unique degree-<len(xs)
+// interpolant through (xs[j], ys[j]). It is InterpWeights followed by one
+// inner product; target may coincide with a point of xs (the weights reduce
+// to an indicator there).
+func EvalOpening(f *field.Field, xs, ys []field.Elem, target field.Elem) field.Elem {
+	return f.Dot(InterpWeights(f, xs, target), ys)
+}

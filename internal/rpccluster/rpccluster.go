@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 )
 
@@ -32,11 +33,18 @@ type ComputeArgs struct {
 	Input []field.Elem
 	Batch int
 	Iter  int
+	// Commit asks the worker to ship a Merkle commitment to its output
+	// (commit.OutputRoot) alongside the result. Absent/false keeps the wire
+	// format cost-free for receipt-less deployments.
+	Commit bool
 }
 
 // ComputeReply is the RPC response.
 type ComputeReply struct {
 	Output []field.Elem
+	// Commit is the worker's output commitment when the request asked for
+	// one, nil otherwise.
+	Commit []byte
 }
 
 // WorkerService is the RPC-exposed wrapper around a cluster.Worker.
@@ -58,6 +66,12 @@ func (s *WorkerService) Compute(args *ComputeArgs, reply *ComputeReply) error {
 		return err
 	}
 	reply.Output = out
+	if args.Commit {
+		// The commitment covers what the worker actually sends — behaviour
+		// included — exactly like the virtual executors: a Byzantine worker
+		// commits to its lie, it does not get to lie about its commitment.
+		reply.Commit = commit.OutputRoot(out)
+	}
 	return nil
 }
 
@@ -164,6 +178,9 @@ type RPCExecutor struct {
 	// DefaultCallTimeout; negative leaves only the caller's context
 	// governing the call.
 	Timeout time.Duration
+	// CommitOutputs makes every call request an output commitment from the
+	// worker (the committed-verification plane).
+	CommitOutputs bool
 }
 
 // Dial connects to worker endpoints. addrs[i] must host the worker whose
@@ -281,7 +298,8 @@ func (e *RPCExecutor) RunRound(ctx context.Context, key string, input []field.El
 			} else {
 				t0 := time.Now()
 				var reply ComputeReply
-				err := e.call(ctx, ci, id, &ComputeArgs{Key: key, Input: input, Batch: batch, Iter: iter}, &reply)
+				err := e.call(ctx, ci, id,
+					&ComputeArgs{Key: key, Input: input, Batch: batch, Iter: iter, Commit: e.CommitOutputs}, &reply)
 				var serverErr rpc.ServerError
 				if err != nil && !errors.As(err, &serverErr) {
 					// Timeout, cancellation or transport failure: the
@@ -292,6 +310,7 @@ func (e *RPCExecutor) RunRound(ctx context.Context, key string, input []field.El
 				}
 				res.ComputeSec = time.Since(t0).Seconds()
 				res.Output = reply.Output
+				res.Commit = reply.Commit
 				res.Err = err
 			}
 			res.ArriveAt = time.Since(start).Seconds()

@@ -136,6 +136,7 @@ func attachScenario(m Master, f *field.Field, cfg Config, stragglers attack.Stra
 	}
 	exec := cluster.NewVirtualExecutor(f, cfg.Sim, workers, stragglers, cfg.Seed+1)
 	exec.Dynamics = eng
+	exec.CommitOutputs = cfg.Receipts
 	m.SetExecutor(exec)
 	return nil
 }
@@ -151,6 +152,8 @@ func init() {
 			Seed:                cfg.Seed,
 			Dynamic:             dynamic,
 			PregeneratedCodings: cfg.PregeneratedCodings,
+			Receipts:            cfg.Receipts,
+			DeterministicKeys:   cfg.DeterministicKeys,
 		}
 	}
 	Register("avcc", nil, func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
@@ -173,6 +176,7 @@ func init() {
 		return gavcc.NewMaster(f, gavcc.Options{
 			N: cfg.N, K: cfg.K, S: cfg.S, M: cfg.M, T: cfg.T,
 			Sim: cfg.Sim, Seed: cfg.Seed,
+			Receipts: cfg.Receipts, DeterministicKeys: cfg.DeterministicKeys,
 		}, x, behaviors, stragglers)
 	})
 	Register("lcc", nil, func(f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
@@ -180,6 +184,7 @@ func init() {
 		return baseline.NewLCCMaster(f, baseline.LCCOptions{
 			N: cfg.N, K: cfg.K, S: cfg.S, M: cfg.M, T: cfg.T,
 			DegF: cfg.DegF, Sim: cfg.Sim, Seed: cfg.Seed,
+			Receipts: cfg.Receipts,
 		}, data, behaviors, stragglers)
 	})
 	// The uncoded baseline deploys exactly K workers (no redundancy).
@@ -188,6 +193,7 @@ func init() {
 			behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
 			return baseline.NewUncodedMaster(f, baseline.UncodedOptions{
 				K: cfg.K, Sim: cfg.Sim, Seed: cfg.Seed,
+				Receipts: cfg.Receipts,
 			}, data, behaviors, stragglers)
 		})
 }

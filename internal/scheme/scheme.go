@@ -99,6 +99,16 @@ type Config struct {
 	// executor, scenario dynamics, and adaptation state), behind one
 	// fan-out master (internal/shard). 0 or 1 means a single group.
 	Shards int
+	// Receipts turns on the committed-verification plane (internal/commit):
+	// workers ship Merkle commitments to their outputs and every round's
+	// BatchOutput carries a tenant-verifiable receipt bound to the public
+	// matrix digest. Requires T == 0 — masked shards cannot be opened
+	// against the digest of the unmasked matrix.
+	Receipts bool
+	// DeterministicKeys derives the secret Freivalds verification keys from
+	// Seed instead of crypto/rand. FOR TESTS ONLY: a predictable key lets an
+	// adversary craft outputs that pass verification.
+	DeterministicKeys bool
 }
 
 // Option mutates a Config under construction.
@@ -196,4 +206,18 @@ func WithScenario(s *scenario.Scenario) Option {
 // unsharded deployment.
 func WithShards(g int) Option {
 	return func(c *Config) { c.Shards = g }
+}
+
+// WithReceipts toggles the committed-verification plane: every round's
+// output carries a compact receipt (internal/commit) any tenant can verify
+// offline against the public matrix digest. Incompatible with T > 0.
+func WithReceipts(receipts bool) Option {
+	return func(c *Config) { c.Receipts = receipts }
+}
+
+// WithDeterministicKeys derives Freivalds verification keys from Seed
+// instead of crypto/rand — reproducible rounds for tests and conformance
+// suites, NOT for deployments (a predictable key forfeits soundness).
+func WithDeterministicKeys(deterministic bool) Option {
+	return func(c *Config) { c.DeterministicKeys = deterministic }
 }

@@ -72,6 +72,12 @@ type ServiceConfig struct {
 	// MaxPending bounds the admission queue; Submit fails fast with
 	// ErrQueueFull beyond it. <= 0 means DefaultMaxPending.
 	MaxPending int
+	// AuditReceipts makes the dispatcher verify every round receipt the
+	// master issues (one Verify per round, shared by the batch) and record
+	// the verdict in the per-tenant receipt counters. Auditing is
+	// observability only: a failing receipt is counted, not withheld — the
+	// receipt itself is the tenant's evidence.
+	AuditReceipts bool
 }
 
 // Defaults for ServiceConfig's zero values.
@@ -153,6 +159,7 @@ type tenantCounters struct {
 	completed uint64
 	failed    uint64
 	rejected  uint64
+	receipts  metrics.ReceiptCounters
 	latency   *metrics.Histogram
 }
 
@@ -163,6 +170,9 @@ type TenantStats struct {
 	Completed uint64
 	Failed    uint64
 	Rejected  uint64
+	// Receipts counts the tenant's committed-verification receipts (issued
+	// with its outputs; verified/failed when the service audits them).
+	Receipts metrics.ReceiptCounters
 	// Latency is the Submit→resolve wall latency distribution.
 	Latency metrics.HistogramSnapshot
 }
@@ -315,6 +325,7 @@ func (s *Service) Stats() ServiceStats {
 			Completed: p.tc.completed,
 			Failed:    p.tc.failed,
 			Rejected:  p.tc.rejected,
+			Receipts:  p.tc.receipts,
 		}
 	}
 	s.mu.Unlock()
@@ -454,6 +465,26 @@ func (s *Service) runBatch(batch []*request) {
 			s.finish(r, nil, err)
 		}
 		return
+	}
+	if out.Receipt != nil {
+		var auditErr error
+		if s.cfg.AuditReceipts {
+			// One Verify covers the whole batch — the receipt is per-round.
+			auditErr = out.Receipt.Verify()
+		}
+		s.mu.Lock()
+		for _, r := range batch {
+			rc := &s.tenant(r.tenant).receipts
+			rc.Issued++
+			if s.cfg.AuditReceipts {
+				if auditErr == nil {
+					rc.Verified++
+				} else {
+					rc.Failed++
+				}
+			}
+		}
+		s.mu.Unlock()
 	}
 	for i, r := range batch {
 		s.finish(r, out.Round(i), nil)

@@ -57,6 +57,8 @@ func (c Config) Validate() error {
 		return &InvalidConfigError{"VerifyTrials", fmt.Sprintf("= %d, the amplification factor cannot be negative", c.VerifyTrials)}
 	case c.Shards < 0:
 		return &InvalidConfigError{"Shards", fmt.Sprintf("= %d, the shard-group count cannot be negative (0 or 1 means a single group)", c.Shards)}
+	case c.Receipts && c.T > 0:
+		return &InvalidConfigError{"Receipts", fmt.Sprintf("requires T = 0, got T = %d: privacy-masked shards cannot be opened against the public matrix digest", c.T)}
 	case !c.Sim.Validate():
 		return &InvalidConfigError{"Sim", "is not a valid latency model (rates must be positive)"}
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 )
 
@@ -224,7 +225,48 @@ func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field
 		merged.Breakdown.Decode = max(merged.Breakdown.Decode, out.Breakdown.Decode)
 		merged.Breakdown.Wall = max(merged.Breakdown.Wall, out.Breakdown.Wall)
 	}
+
+	// Fold the per-group receipts into one fleet receipt (group order matches
+	// the output concatenation, so a verifier replays the exact round). Only
+	// when every group issued one: a mixed fleet has no sound fleet receipt.
+	receipts := make([]*commit.Receipt, 0, len(outs))
+	for _, out := range outs {
+		if out.Receipt == nil {
+			receipts = nil
+			break
+		}
+		receipts = append(receipts, out.Receipt)
+	}
+	if len(receipts) == len(outs) && len(receipts) > 0 {
+		folded, err := commit.FoldReceipts(receipts)
+		if err != nil {
+			return nil, fmt.Errorf("shard: folding receipts: %w", err)
+		}
+		merged.Receipt = folded
+	}
 	return merged, nil
+}
+
+// ReceiptDigests implements commit.DigestProvider by concatenating every
+// group's digests per round key, in group order — the same order the folded
+// receipt carries its groups and the decoded outputs concatenate. Returns
+// nil when the groups do not issue receipts.
+func (m *Master) ReceiptDigests() map[string][]commit.Digest {
+	out := make(map[string][]commit.Digest)
+	for _, gm := range m.groups {
+		dp, ok := gm.(commit.DigestProvider)
+		if !ok {
+			return nil
+		}
+		ds := dp.ReceiptDigests()
+		if ds == nil {
+			return nil
+		}
+		for key, d := range ds {
+			out[key] = append(out[key], d...)
+		}
+	}
+	return out
 }
 
 // FinishIteration implements cluster.Master by fanning in: every group

@@ -1,0 +1,57 @@
+package verify
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/field"
+)
+
+// Source supplies the secret uniform vectors Freivalds keys are built from.
+// The soundness argument (wrong result accepted w.p. ≤ 1/q) needs r to be
+// uniform AND unpredictable to the workers; a seeded math/rand stream gives
+// neither against an adversary who can guess the seed, so production key
+// generation must use Crypto. Seeded remains available because key VALUES
+// affect neither decoded outputs nor timing — deterministic tests and
+// benchmarks are safe users.
+type Source interface {
+	// Vec returns n fresh uniform elements of f.
+	Vec(f *field.Field, n int) []field.Elem
+}
+
+type cryptoSource struct{}
+
+// Crypto is the default entropy source: rejection-sampled uniform field
+// elements drawn from the operating system's CSPRNG.
+func Crypto() Source { return cryptoSource{} }
+
+func (cryptoSource) Vec(f *field.Field, n int) []field.Elem {
+	out := make([]field.Elem, 0, n)
+	var buf [512]byte
+	for len(out) < n {
+		if _, err := crand.Read(buf[:]); err != nil {
+			// The platform CSPRNG failing is not a condition to limp past —
+			// a predictable key silently voids every verification guarantee.
+			panic(fmt.Sprintf("verify: system entropy unavailable: %v", err))
+		}
+		for off := 0; off+8 <= len(buf) && len(out) < n; off += 8 {
+			var w [8]byte
+			copy(w[:], buf[off:off+8])
+			if e, ok := f.FromUniformBytes(w); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+type seededSource struct{ rng *rand.Rand }
+
+// Seeded adapts a deterministic math/rand stream into a Source, for
+// reproducible tests and benchmarks. Never use it for a real deployment.
+func Seeded(rng *rand.Rand) Source { return seededSource{rng: rng} }
+
+func (s seededSource) Vec(f *field.Field, n int) []field.Elem {
+	return f.RandVec(s.rng, n)
+}

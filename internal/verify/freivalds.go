@@ -21,8 +21,6 @@
 package verify
 
 import (
-	"math/rand"
-
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 )
@@ -36,11 +34,12 @@ type Key struct {
 	s []field.Elem
 }
 
-// NewKey draws the secret vector and precomputes s = r·X̃. This is the
-// "Verification Key Generation" step of the protocol; it performs the same
-// O(a·b) work as one worker computation, once, up front.
-func NewKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix) *Key {
-	r := f.RandVec(rng, shard.Rows)
+// NewKey draws the secret vector from src and precomputes s = r·X̃. This is
+// the "Verification Key Generation" step of the protocol; it performs the
+// same O(a·b) work as one worker computation, once, up front. Deployments
+// pass Crypto(); deterministic tests pass Seeded(rng).
+func NewKey(f *field.Field, src Source, shard *fieldmat.Matrix) *Key {
+	r := src.Vec(f, shard.Rows)
 	s := fieldmat.VecMat(f, r, shard)
 	return &Key{f: f, r: r, s: s}
 }
@@ -88,13 +87,13 @@ type AmplifiedKey struct {
 }
 
 // NewAmplifiedKey builds t independent keys for the same shard.
-func NewAmplifiedKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix, trials int) *AmplifiedKey {
+func NewAmplifiedKey(f *field.Field, src Source, shard *fieldmat.Matrix, trials int) *AmplifiedKey {
 	if trials < 1 {
 		panic("verify: amplification needs at least one trial")
 	}
 	ks := make([]*Key, trials)
 	for i := range ks {
-		ks[i] = NewKey(f, rng, shard)
+		ks[i] = NewKey(f, src, shard)
 	}
 	return &AmplifiedKey{keys: ks}
 }
@@ -135,9 +134,9 @@ type RoundKeys struct {
 
 // NewRoundKeys generates both keys for a worker's (shard, transposedShard)
 // pair.
-func NewRoundKeys(f *field.Field, rng *rand.Rand, shard, shardT *fieldmat.Matrix) *RoundKeys {
+func NewRoundKeys(f *field.Field, src Source, shard, shardT *fieldmat.Matrix) *RoundKeys {
 	return &RoundKeys{
-		Round1: NewKey(f, rng, shard),
-		Round2: NewKey(f, rng, shardT),
+		Round1: NewKey(f, src, shard),
+		Round2: NewKey(f, src, shardT),
 	}
 }

@@ -16,7 +16,7 @@ func TestCorrectResultAlwaysPasses(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		a, b := 1+rng.Intn(20), 1+rng.Intn(20)
 		shard := fieldmat.Rand(f, rng, a, b)
-		key := NewKey(f, rng, shard)
+		key := NewKey(f, Seeded(rng), shard)
 		x := f.RandVec(rng, b)
 		y := fieldmat.MatVec(f, shard, x)
 		if !key.Check(x, y) {
@@ -30,7 +30,7 @@ func TestWrongResultRejectedWHP(t *testing.T) {
 	// paper's field, so over 200 corruptions we expect zero acceptances.
 	rng := rand.New(rand.NewSource(101))
 	shard := fieldmat.Rand(f, rng, 15, 10)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	x := f.RandVec(rng, 10)
 	y := fieldmat.MatVec(f, shard, x)
 	for trial := 0; trial < 200; trial++ {
@@ -47,7 +47,7 @@ func TestReverseValueAttackDetected(t *testing.T) {
 	// The paper's reverse value attack: worker sends -z instead of z.
 	rng := rand.New(rand.NewSource(102))
 	shard := fieldmat.Rand(f, rng, 12, 8)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	x := f.RandVec(rng, 8)
 	z := fieldmat.MatVec(f, shard, x)
 	neg := make([]field.Elem, len(z))
@@ -70,7 +70,7 @@ func TestConstantAttackDetected(t *testing.T) {
 	// The paper's constant attack: worker sends a constant vector.
 	rng := rand.New(rand.NewSource(103))
 	shard := fieldmat.Rand(f, rng, 12, 8)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	x := f.RandVec(rng, 8)
 	constant := make([]field.Elem, 12)
 	for i := range constant {
@@ -87,7 +87,7 @@ func TestConstantAttackDetected(t *testing.T) {
 func TestDimensionMismatchRejected(t *testing.T) {
 	rng := rand.New(rand.NewSource(104))
 	shard := fieldmat.Rand(f, rng, 6, 4)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	x := f.RandVec(rng, 4)
 	y := fieldmat.MatVec(f, shard, x)
 	if key.Check(x[:3], y) {
@@ -104,7 +104,7 @@ func TestDimensionMismatchRejected(t *testing.T) {
 func TestKeyLens(t *testing.T) {
 	rng := rand.New(rand.NewSource(105))
 	shard := fieldmat.Rand(f, rng, 7, 3)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	if key.InputLen() != 3 || key.ResultLen() != 7 {
 		t.Fatalf("lens = (%d,%d), want (3,7)", key.InputLen(), key.ResultLen())
 	}
@@ -118,7 +118,7 @@ func TestSmallFieldSoundnessRate(t *testing.T) {
 	accepted, trials := 0, 4000
 	for i := 0; i < trials; i++ {
 		shard := fieldmat.Rand(smallF, rng, 4, 3)
-		key := NewKey(smallF, rng, shard)
+		key := NewKey(smallF, Seeded(rng), shard)
 		x := smallF.RandVec(rng, 3)
 		y := fieldmat.MatVec(smallF, shard, x)
 		bad := field.CopyVec(y)
@@ -143,7 +143,7 @@ func TestAmplificationReducesFalseAccepts(t *testing.T) {
 	accepted, trials := 0, 3000
 	for i := 0; i < trials; i++ {
 		shard := fieldmat.Rand(smallF, rng, 4, 3)
-		key := NewAmplifiedKey(smallF, rng, shard, 3)
+		key := NewAmplifiedKey(smallF, Seeded(rng), shard, 3)
 		x := smallF.RandVec(rng, 3)
 		y := fieldmat.MatVec(smallF, shard, x)
 		bad := field.CopyVec(y)
@@ -160,7 +160,7 @@ func TestAmplificationReducesFalseAccepts(t *testing.T) {
 func TestAmplifiedHonestStillPasses(t *testing.T) {
 	rng := rand.New(rand.NewSource(108))
 	shard := fieldmat.Rand(f, rng, 10, 6)
-	key := NewAmplifiedKey(f, rng, shard, 5)
+	key := NewAmplifiedKey(f, Seeded(rng), shard, 5)
 	if key.Trials() != 5 {
 		t.Fatal("trial count wrong")
 	}
@@ -176,7 +176,7 @@ func TestAmplifiedKeyValidation(t *testing.T) {
 			t.Fatal("expected panic for 0 trials")
 		}
 	}()
-	NewAmplifiedKey(f, rand.New(rand.NewSource(1)), fieldmat.NewMatrix(2, 2), 0)
+	NewAmplifiedKey(f, Seeded(rand.New(rand.NewSource(1))), fieldmat.NewMatrix(2, 2), 0)
 }
 
 func TestRoundKeysBothDirections(t *testing.T) {
@@ -185,7 +185,7 @@ func TestRoundKeysBothDirections(t *testing.T) {
 	rng := rand.New(rand.NewSource(109))
 	shard := fieldmat.Rand(f, rng, 10, 20) // (m/K)×d shape
 	shardT := fieldmat.Rand(f, rng, 4, 50) // (d/K)×m shape
-	keys := NewRoundKeys(f, rng, shard, shardT)
+	keys := NewRoundKeys(f, Seeded(rng), shard, shardT)
 	w := f.RandVec(rng, 20)
 	if !keys.Round1.Check(w, fieldmat.MatVec(f, shard, w)) {
 		t.Fatal("round 1 honest rejected")
@@ -206,7 +206,7 @@ func BenchmarkVerifyVsCompute(b *testing.B) {
 	// (133×600, i.e. m=1200, d=600, K=9 → m/K≈133).
 	rng := rand.New(rand.NewSource(110))
 	shard := fieldmat.Rand(f, rng, 133, 600)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	x := f.RandVec(rng, 600)
 	y := fieldmat.MatVec(f, shard, x)
 	b.Run("verify", func(b *testing.B) {
@@ -231,14 +231,14 @@ func BenchmarkKeyGen(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewKey(f, rng, shard)
+		_ = NewKey(f, Seeded(rng), shard)
 	}
 }
 
 func TestCheckBatchAcceptsHonestStacks(t *testing.T) {
 	rng := rand.New(rand.NewSource(104))
 	shard := fieldmat.Rand(f, rng, 8, 5)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	const batch = 4
 	var inputs, results []field.Elem
 	for c := 0; c < batch; c++ {
@@ -249,7 +249,7 @@ func TestCheckBatchAcceptsHonestStacks(t *testing.T) {
 	if !key.CheckBatch(inputs, results, batch) {
 		t.Fatal("honest batched claim rejected")
 	}
-	amp := NewAmplifiedKey(f, rng, shard, 3)
+	amp := NewAmplifiedKey(f, Seeded(rng), shard, 3)
 	if !amp.CheckBatch(inputs, results, batch) {
 		t.Fatal("honest batched claim rejected by the amplified key")
 	}
@@ -260,7 +260,7 @@ func TestCheckBatchRejectsOneCorruptedColumn(t *testing.T) {
 	// whole batch: the serving layer trusts one verdict per worker.
 	rng := rand.New(rand.NewSource(105))
 	shard := fieldmat.Rand(f, rng, 8, 5)
-	key := NewKey(f, rng, shard)
+	key := NewKey(f, Seeded(rng), shard)
 	const batch = 4
 	var inputs, results []field.Elem
 	for c := 0; c < batch; c++ {

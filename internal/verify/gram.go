@@ -1,8 +1,6 @@
 package verify
 
 import (
-	"math/rand"
-
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 )
@@ -26,9 +24,10 @@ type GramKey struct {
 	v []field.Elem
 }
 
-// NewGramKey draws the secret and precomputes the reference product.
-func NewGramKey(f *field.Field, rng *rand.Rand, shard *fieldmat.Matrix) *GramKey {
-	r := f.RandVec(rng, shard.Rows)
+// NewGramKey draws the secret from src and precomputes the reference
+// product.
+func NewGramKey(f *field.Field, src Source, shard *fieldmat.Matrix) *GramKey {
+	r := src.Vec(f, shard.Rows)
 	xtR := fieldmat.MatVec(f, shard.Transpose(), r)
 	v := fieldmat.MatVec(f, shard, xtR)
 	return &GramKey{f: f, r: r, v: v}

@@ -17,7 +17,7 @@ func TestGramHonestPasses(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		b, d := 1+rng.Intn(10), 1+rng.Intn(15)
 		shard := fieldmat.Rand(f, rng, b, d)
-		key := NewGramKey(f, rng, shard)
+		key := NewGramKey(f, Seeded(rng), shard)
 		if key.Dim() != b {
 			t.Fatalf("Dim = %d, want %d", key.Dim(), b)
 		}
@@ -30,7 +30,7 @@ func TestGramHonestPasses(t *testing.T) {
 func TestGramCorruptionRejected(t *testing.T) {
 	rng := rand.New(rand.NewSource(301))
 	shard := fieldmat.Rand(f, rng, 8, 12)
-	key := NewGramKey(f, rng, shard)
+	key := NewGramKey(f, Seeded(rng), shard)
 	honest := gram(shard)
 	for trial := 0; trial < 100; trial++ {
 		bad := field.CopyVec(honest)
@@ -47,7 +47,7 @@ func TestGramCorruptionRejected(t *testing.T) {
 func TestGramWrongShapeRejected(t *testing.T) {
 	rng := rand.New(rand.NewSource(302))
 	shard := fieldmat.Rand(f, rng, 5, 7)
-	key := NewGramKey(f, rng, shard)
+	key := NewGramKey(f, Seeded(rng), shard)
 	if key.Check(make([]field.Elem, 24)) {
 		t.Fatal("wrong-size claim accepted")
 	}
@@ -59,7 +59,7 @@ func TestGramWrongShapeRejected(t *testing.T) {
 func TestGramReverseAndConstantAttacks(t *testing.T) {
 	rng := rand.New(rand.NewSource(303))
 	shard := fieldmat.Rand(f, rng, 6, 9)
-	key := NewGramKey(f, rng, shard)
+	key := NewGramKey(f, Seeded(rng), shard)
 	honest := gram(shard)
 	neg := make([]field.Elem, len(honest))
 	nonzero := false
@@ -86,7 +86,7 @@ func BenchmarkGramVerifyVsCompute(b *testing.B) {
 	// verification affordable.
 	rng := rand.New(rand.NewSource(304))
 	shard := fieldmat.Rand(f, rng, 80, 300)
-	key := NewGramKey(f, rng, shard)
+	key := NewGramKey(f, Seeded(rng), shard)
 	g := gram(shard)
 	b.Run("verify", func(b *testing.B) {
 		b.ReportAllocs()
