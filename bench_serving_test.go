@@ -26,10 +26,8 @@ package repro_test
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"sync"
 	"testing"
 	"time"
@@ -224,16 +222,12 @@ func BenchmarkServing(b *testing.B) {
 		}
 		rows = append(rows, row)
 	}
-	data, err := json.MarshalIndent(map[string]any{
+	// Merge rather than overwrite: BenchmarkTransport owns the "transport"
+	// key of the same artifact.
+	mergeBenchArtifact(b, "BENCH_serving.json", map[string]any{
 		"benchmark": "BenchmarkServing",
 		"workload":  "avcc (12,9) virtual executor, 32 closed-loop clients; batch axis on a 54x18 matvec (default sim), shard axis on a 2880x96 matvec (compute-bound sim); virt_req_per_sec is requests over summed per-round virtual wall",
 		"rows":      rows,
-	}, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_serving.json", append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	})
 	b.Logf("wrote BENCH_serving.json (%d configs)", len(rows))
 }

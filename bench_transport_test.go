@@ -1,0 +1,199 @@
+package repro_test
+
+// Data-plane transport benchmark: the batched coded round over real TCP
+// loopback, net/rpc (the legacy executor) vs the framed streaming transport
+// that replaced it. The workload is payload-heavy and compute-light — a
+// 32-vector batch broadcast to 12 workers with small shards — so the wire
+// cost dominates and the comparison isolates exactly what the transport
+// rewrite changed: gob reflection vs raw little-endian frames, per-call
+// re-encoding vs broadcast-once, N serialisations per round vs one.
+//
+// Full runs (`go test -bench BenchmarkTransport`) merge a "transport"
+// section into BENCH_serving.json next to the serving sweep; 1x smoke runs
+// only exercise the round path.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/rpccluster"
+)
+
+// transportRow is one BENCH_serving.json transport-axis entry.
+type transportRow struct {
+	Transport       string  `json:"transport"`
+	Workers         int     `json:"workers"`
+	Batch           int     `json:"batch"`
+	ShardRows       int     `json:"shard_rows"`
+	Cols            int     `json:"cols"`
+	Rounds          int     `json:"rounds"`
+	RoundsPerSec    float64 `json:"rounds_per_sec"`
+	PayloadMBPerSec float64 `json:"payload_mb_per_sec"`
+}
+
+var (
+	transportMu      sync.Mutex
+	transportResults = map[string]transportRow{}
+)
+
+// The transport workload: 12 workers, a 32-vector batch of width-512
+// inputs (1.5 MiB broadcast per round), 16-row shards (50 KiB of results).
+const (
+	twWorkers   = 12
+	twBatch     = 32
+	twShardRows = 16
+	twCols      = 512
+)
+
+type benchExec interface {
+	cluster.Executor
+	Close()
+}
+
+func BenchmarkTransport(b *testing.B) {
+	f := field.Default()
+	rng := rand.New(rand.NewSource(99))
+	workers := make([]*cluster.Worker, twWorkers)
+	active := make([]int, twWorkers)
+	for i := range workers {
+		workers[i] = cluster.NewWorker(i)
+		workers[i].Shards["fwd"] = fieldmat.Rand(f, rng, twShardRows, twCols)
+		active[i] = i
+	}
+	packed := f.RandVec(rng, twBatch*twCols)
+	// Input broadcast to every worker plus every worker's batched result.
+	payloadBytes := twWorkers * 8 * (twBatch*twCols + twBatch*twShardRows)
+
+	arms := []struct {
+		name  string
+		start func(b *testing.B) benchExec
+	}{
+		{"netrpc", func(b *testing.B) benchExec {
+			addrs := make([]string, twWorkers)
+			for i, w := range workers {
+				srv, err := rpccluster.Serve("127.0.0.1:0", f, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { srv.Close() })
+				addrs[i] = srv.Addr
+			}
+			exec, err := rpccluster.Dial(addrs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return exec
+		}},
+		{"frames", func(b *testing.B) benchExec {
+			addrs := make([]string, twWorkers)
+			for i, w := range workers {
+				srv, err := rpccluster.ServeFrames("127.0.0.1:0", f, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { srv.Close() })
+				addrs[i] = srv.Addr
+			}
+			exec, err := rpccluster.DialFrames(addrs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return exec
+		}},
+	}
+
+	for _, arm := range arms {
+		b.Run("transport="+arm.name, func(b *testing.B) {
+			exec := arm.start(b)
+			b.Cleanup(exec.Close)
+			ctx := context.Background()
+			// One warm-up round outside the timer: connections, buffers.
+			if res := exec.RunRound(ctx, "fwd", packed, twBatch, 0, active); len(res) != twWorkers {
+				b.Fatalf("warm-up round returned %d results", len(res))
+			}
+			b.SetBytes(int64(payloadBytes))
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res := exec.RunRound(ctx, "fwd", packed, twBatch, i+1, active)
+				if len(res) != twWorkers {
+					b.Fatalf("round %d returned %d results", i, len(res))
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			b.StopTimer()
+			if b.N > 1 && elapsed > 0 {
+				transportMu.Lock()
+				transportResults[arm.name] = transportRow{
+					Transport:       arm.name,
+					Workers:         twWorkers,
+					Batch:           twBatch,
+					ShardRows:       twShardRows,
+					Cols:            twCols,
+					Rounds:          b.N,
+					RoundsPerSec:    float64(b.N) / elapsed,
+					PayloadMBPerSec: float64(b.N) * float64(payloadBytes) / elapsed / (1 << 20),
+				}
+				transportMu.Unlock()
+			}
+		})
+	}
+
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	netrpc, okA := transportResults["netrpc"]
+	frames, okB := transportResults["frames"]
+	if !okA || !okB {
+		b.Log("skipping BENCH_serving.json transport section (smoke run)")
+		return
+	}
+	mergeBenchArtifact(b, "BENCH_serving.json", map[string]any{
+		"transport": map[string]any{
+			"workload": fmt.Sprintf(
+				"batched coded round over TCP loopback: %d workers, batch %d, %dx%d shards, %.1f MiB payload per round",
+				twWorkers, twBatch, twShardRows, twCols, float64(payloadBytes)/(1<<20)),
+			"rows":           []transportRow{netrpc, frames},
+			"framed_speedup": frames.RoundsPerSec / netrpc.RoundsPerSec,
+		},
+	})
+	b.Logf("wrote BENCH_serving.json transport axis (framed speedup %.2fx)",
+		frames.RoundsPerSec/netrpc.RoundsPerSec)
+}
+
+// mergeBenchArtifact read-modify-writes a JSON artifact, replacing only the
+// given top-level keys: BenchmarkServing and BenchmarkTransport each own a
+// section of BENCH_serving.json, and either may run (and refresh its
+// section) without erasing the other's.
+func mergeBenchArtifact(tb testing.TB, path string, set map[string]any) {
+	tb.Helper()
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			tb.Fatalf("existing %s is not JSON: %v", path, err)
+		}
+	}
+	for k, v := range set {
+		doc[k] = v
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 // Command avccdemo runs the full AVCC protocol over REAL TCP connections:
-// it starts 12 worker RPC servers on loopback (one of them Byzantine, per
+// it starts 12 worker servers on loopback (one of them Byzantine, per
 // -attack), encodes a random matrix with the (12,9) MDS code, ships the
 // shards, and drives verified coded matrix-vector rounds through them.
+// -transport picks the data plane: the framed streaming transport
+// (default) or the legacy net/rpc executor.
 //
 // This demonstrates that the master logic is transport-agnostic: the same
 // code paths that the experiments drive under the virtual-time simulator
@@ -29,33 +31,41 @@ func main() {
 	rounds := flag.Int("rounds", 3, "number of coded matvec rounds")
 	byzantine := flag.Int("byzantine", 5, "worker id to corrupt (-1 for none)")
 	attackName := flag.String("attack", "reverse", "reverse | constant")
+	transport := flag.String("transport", "frames", "data-plane transport: frames | netrpc")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	if err := run(*rows, *cols, *rounds, *byzantine, *attackName, *seed); err != nil {
+	if err := run(*rows, *cols, *rounds, *byzantine, *attackName, *transport, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols, rounds, byzantine int, attackName string, seed int64) error {
+func run(rows, cols, rounds, byzantine int, attackName, transport string, seed int64) error {
 	const n, k = 12, 9
 	f := field.Default()
 	rng := rand.New(rand.NewSource(seed))
 
-	// Start 12 worker endpoints on loopback.
-	fmt.Printf("starting %d worker RPC servers on loopback...\n", n)
+	if transport != "frames" && transport != "netrpc" {
+		return fmt.Errorf("unknown transport %q (want frames or netrpc)", transport)
+	}
+
+	// Master side first: encode and generate keys, so worker endpoints can
+	// be fully provisioned (shards, behaviour) BEFORE their servers start
+	// accepting — server handlers read worker state without locks.
+	x := fieldmat.Rand(f, rng, rows, cols)
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithCoding(n, k),
+		scheme.WithBudgets(1, 2, 0),
+		scheme.WithSeed(seed),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		return err
+	}
 	workers := make([]*cluster.Worker, n)
-	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		workers[i] = cluster.NewWorker(i)
-		srv, err := rpccluster.Serve("127.0.0.1:0", f, workers[i])
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		addrs[i] = srv.Addr
-		fmt.Printf("  worker %2d listening on %s\n", i, srv.Addr)
+		workers[i].Shards["fwd"] = master.Workers()[i].Shards["fwd"]
 	}
 	if byzantine >= 0 && byzantine < n {
 		switch attackName {
@@ -69,24 +79,45 @@ func run(rows, cols, rounds, byzantine int, attackName string, seed int64) error
 		fmt.Printf("worker %d is Byzantine (%s attack)\n", byzantine, attackName)
 	}
 
-	// Master side: encode, generate keys, connect over TCP.
-	x := fieldmat.Rand(f, rng, rows, cols)
-	master, err := scheme.New("avcc", f, scheme.NewConfig(
-		scheme.WithCoding(n, k),
-		scheme.WithBudgets(1, 2, 0),
-		scheme.WithSeed(seed),
-	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
-	if err != nil {
-		return err
+	// Start the provisioned worker endpoints on loopback.
+	fmt.Printf("starting %d worker servers on loopback (%s transport)...\n", n, transport)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		var addr string
+		var closer interface{ Close() error }
+		if transport == "frames" {
+			srv, err := rpccluster.ServeFrames("127.0.0.1:0", f, workers[i])
+			if err != nil {
+				return err
+			}
+			addr, closer = srv.Addr, srv
+		} else {
+			srv, err := rpccluster.Serve("127.0.0.1:0", f, workers[i])
+			if err != nil {
+				return err
+			}
+			addr, closer = srv.Addr, srv
+		}
+		defer closer.Close()
+		addrs[i] = addr
+		fmt.Printf("  worker %2d listening on %s\n", i, addr)
 	}
-	for i, w := range master.Workers() {
-		workers[i].Shards["fwd"] = w.Shards["fwd"]
+	var exec cluster.Executor
+	if transport == "frames" {
+		fe, err := rpccluster.DialFrames(addrs, nil)
+		if err != nil {
+			return err
+		}
+		defer fe.Close()
+		exec = fe
+	} else {
+		re, err := rpccluster.Dial(addrs, nil)
+		if err != nil {
+			return err
+		}
+		defer re.Close()
+		exec = re
 	}
-	exec, err := rpccluster.Dial(addrs, nil)
-	if err != nil {
-		return err
-	}
-	defer exec.Close()
 	master.SetExecutor(exec)
 	fmt.Printf("encoded %dx%d matrix into %d shards ((%d,%d) MDS), keys generated\n",
 		rows, cols, n, n, k)

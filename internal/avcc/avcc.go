@@ -131,7 +131,12 @@ type Master struct {
 	// issuer builds round receipts when Options.Receipts is set.
 	issuer *commit.Issuer
 
-	// Per-iteration observations feeding the adaptation rule.
+	// Per-iteration observations feeding the adaptation rule. obsIter is the
+	// iteration the observations belong to: a round starting a NEW iteration
+	// clears them first, so observations stranded by a failed iteration (one
+	// whose FinishIteration the caller rightly skipped) cannot bleed into the
+	// next iteration's adaptation decision.
+	obsIter        int
 	iterByzantine  map[int]bool
 	iterStragglers int
 }
@@ -304,6 +309,13 @@ func (m *Master) RunRoundBatch(ctx context.Context, key string, inputs [][]field
 	packed, _, err := cluster.PackInputs(inputs)
 	if err != nil {
 		return nil, fmt.Errorf("avcc: %w", err)
+	}
+	if iter != m.obsIter {
+		// First round of a new iteration: discard observations stranded by a
+		// previous iteration whose FinishIteration never ran (failed rounds
+		// skip adaptation). Within one iteration, rounds still accumulate.
+		m.resetIterObservations()
+		m.obsIter = iter
 	}
 	batch := len(inputs)
 	results := m.exec.RunRound(ctx, key, packed, batch, iter, m.active)

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// RateCurve shapes the arrival rate over a run: the instantaneous rate at
+// normalised time frac ∈ [0, 1) is Rate x At(frac). Mult holds equal-width
+// segments; the zero value is a flat curve.
+type RateCurve struct {
+	// Name identifies the curve in reports ("flat", "flash-crowd", ...).
+	Name string
+	// Mult is the per-segment rate multiplier.
+	Mult []float64
+}
+
+// At returns the multiplier at normalised time frac, clamped into the
+// curve's domain.
+func (c RateCurve) At(frac float64) float64 {
+	if len(c.Mult) == 0 {
+		return 1
+	}
+	i := int(frac * float64(len(c.Mult)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.Mult) {
+		i = len(c.Mult) - 1
+	}
+	return c.Mult[i]
+}
+
+// Peak returns the curve's largest multiplier.
+func (c RateCurve) Peak() float64 {
+	peak := 1.0
+	for _, m := range c.Mult {
+		if m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// curveHorizon is the minimum number of segments a compiled curve spans, so
+// even an eventless preset (steady) produces a well-formed timeline.
+const curveHorizon = 12
+
+// CompileProfile compiles a scenario preset (internal/scenario) into an
+// arrival-rate curve: the same declarative timelines that disturb the
+// WORKER fleet in simulation here disturb the CLIENT population. Each
+// preset iteration becomes one curve segment whose multiplier is one plus
+// the mean per-worker disturbance — a slowdown hitting the whole fleet at
+// 3x (the flash-crowd spike) becomes a 3x arrival burst, a link-degradation
+// ramp over half the fleet becomes a demand ramp, and steady stays flat.
+// Deterministic in (name, n, k, seed), like the presets themselves.
+func CompileProfile(name string, n, k int, seed int64) (RateCurve, error) {
+	sc, err := scenario.Profile(name, n, k, seed)
+	if err != nil {
+		return RateCurve{}, err
+	}
+	horizon := curveHorizon
+	for _, ev := range sc.Events {
+		if ev.To > horizon {
+			horizon = ev.To
+		}
+	}
+	curve := RateCurve{Name: name, Mult: make([]float64, horizon)}
+	for iter := 0; iter < horizon; iter++ {
+		load := 1.0
+		for _, ev := range sc.Events {
+			if ev.Kind != scenario.Slowdown && ev.Kind != scenario.LinkDegrade {
+				continue
+			}
+			if iter < ev.From || (ev.To > 0 && iter >= ev.To) {
+				continue
+			}
+			load += (ev.Factor - 1) / float64(sc.N)
+		}
+		curve.Mult[iter] = load
+	}
+	return curve, nil
+}
+
+// Profiles returns the compilable preset names, for flag help text.
+func Profiles() []string { return scenario.Profiles() }
+
+// MustCompileProfile is CompileProfile for known-good inputs (presets named
+// by constants); it panics on error.
+func MustCompileProfile(name string, n, k int, seed int64) RateCurve {
+	c, err := CompileProfile(name, n, k, seed)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: %v", err))
+	}
+	return c
+}

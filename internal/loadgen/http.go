@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/field"
+)
+
+// HTTPTarget drives a running avccserve instance over its public API
+// (POST /v1/matvec), so the harness measures the full serving stack —
+// HTTP framing included — exactly as a tenant would see it.
+type HTTPTarget struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Tenant is sent as the X-Tenant header when non-empty, so the run
+	// shows up in the server's per-tenant accounting.
+	Tenant string
+}
+
+// Do implements Target: one POST /v1/matvec. A 503 is an ErrOverload
+// (shed load); any other non-200 is a failure.
+func (t HTTPTarget) Do(ctx context.Context, input []field.Elem) error {
+	body, err := json.Marshal(map[string]any{"input": input})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.URL+"/v1/matvec", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if t.Tenant != "" {
+		req.Header.Set("X-Tenant", t.Tenant)
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%w: HTTP 503", ErrOverload)
+	case resp.StatusCode != http.StatusOK:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("loadgen: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out struct {
+		Output []field.Elem `json:"output"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("loadgen: bad response body: %w", err)
+	}
+	if len(out.Output) == 0 {
+		return fmt.Errorf("loadgen: response carried no output")
+	}
+	return nil
+}

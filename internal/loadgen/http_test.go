@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestHTTPTargetClassifiesResponses(t *testing.T) {
+	var calls atomic.Int64
+	var sawTenant atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/matvec" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Header.Get("X-Tenant") == "lt" {
+			sawTenant.Store(true)
+		}
+		var req struct {
+			Input []field.Elem `json:"input"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Input) == 0 {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		switch calls.Add(1) % 3 {
+		case 0:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case 1:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			json.NewEncoder(w).Encode(map[string]any{"output": req.Input})
+		}
+	}))
+	defer srv.Close()
+
+	target := HTTPTarget{URL: srv.URL, Tenant: "lt"}
+	in := []field.Elem{1, 2, 3}
+	var ok, overload, failed int
+	for i := 0; i < 9; i++ {
+		switch err := target.Do(context.Background(), in); {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverload):
+			overload++
+		default:
+			failed++
+		}
+	}
+	if ok != 3 || overload != 3 || failed != 3 {
+		t.Fatalf("classified (ok, overload, failed) = (%d, %d, %d), want (3, 3, 3)", ok, overload, failed)
+	}
+	if !sawTenant.Load() {
+		t.Fatal("X-Tenant header not sent")
+	}
+}

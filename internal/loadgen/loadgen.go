@@ -1,0 +1,254 @@
+// Package loadgen is the open-loop load harness for the serving plane: a
+// Poisson arrival process whose rate follows a scenario-derived curve
+// (steady load, flash-crowd bursts, degradation ramps), fired at a serving
+// target regardless of how fast the target answers.
+//
+// Open-loop is the load model that exposes overload behaviour. A
+// closed-loop client pool (like the serving benchmark's 32 clients)
+// self-throttles: when the service slows down, the clients slow down with
+// it, and queues never grow beyond the pool size. Real traffic does not do
+// that — users arrive when they arrive — so capacity questions ("what does
+// p99 look like at 3x the steady rate?", "how many requests get shed during
+// a flash crowd?") need arrivals that are independent of completions. The
+// harness reports goodput, latency quantiles over the completed requests,
+// and the overload (503-class) rate separately from hard failures.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+)
+
+// ErrOverload classifies load-shedding rejections — the service saying "not
+// now" (HTTP 503, a full admission queue, a draining server) rather than
+// failing. Targets wrap such rejections with this sentinel so the runner
+// counts them as shed load, not as errors.
+var ErrOverload = errors.New("loadgen: target overloaded")
+
+// Target is anything the harness can aim at: one Do call is one matvec
+// solve. Implementations must be safe for concurrent use — the open loop
+// fires requests from many goroutines at once.
+type Target interface {
+	Do(ctx context.Context, input []field.Elem) error
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(ctx context.Context, input []field.Elem) error
+
+// Do implements Target.
+func (fn TargetFunc) Do(ctx context.Context, input []field.Elem) error { return fn(ctx, input) }
+
+// ServiceTarget drives an in-process scheme.Service — the loopback mode CI
+// uses, with no HTTP stack between the harness and the serving layer.
+type ServiceTarget struct {
+	Svc *scheme.Service
+	// Key is the round key to solve against; empty means "fwd".
+	Key string
+}
+
+// Do implements Target.
+func (t ServiceTarget) Do(ctx context.Context, input []field.Elem) error {
+	key := t.Key
+	if key == "" {
+		key = "fwd"
+	}
+	_, err := t.Svc.Submit(ctx, key, input).Wait(ctx)
+	if errors.Is(err, scheme.ErrQueueFull) || errors.Is(err, scheme.ErrServiceClosed) {
+		return fmt.Errorf("%w: %v", ErrOverload, err)
+	}
+	return err
+}
+
+// Config parameterises one load run.
+type Config struct {
+	// Rate is the base arrival rate in requests/second, scaled through the
+	// Curve over the run.
+	Rate float64
+	// Duration is the offered-load window. Requests in flight when it ends
+	// are still awaited and reported.
+	Duration time.Duration
+	// Curve shapes Rate over the run; the zero value is a flat curve.
+	Curve RateCurve
+	// Cols is the solve input width (the served matrix's column count).
+	Cols int
+	// Seed drives the arrival schedule and the request vectors; one seed is
+	// one byte-identical offered-load timeline.
+	Seed int64
+	// Timeout bounds each request; 0 means 10s. A request that outlives it
+	// counts as failed.
+	Timeout time.Duration
+	// MaxInFlight caps concurrent requests to protect the harness host
+	// itself; 0 means 4096. Arrivals past the cap are dropped and counted —
+	// a drop means the TARGET was so far behind that the harness refused to
+	// model the queue for it.
+	MaxInFlight int
+}
+
+// Report is the outcome of one run. All counters partition Offered.
+type Report struct {
+	// Profile names the rate curve the run followed.
+	Profile string `json:"profile"`
+	// Offered is how many arrivals the open loop fired.
+	Offered int `json:"offered"`
+	// Completed requests solved inside their timeout.
+	Completed int `json:"completed"`
+	// Overloaded requests were shed by the target (503-class).
+	Overloaded int `json:"overloaded"`
+	// Failed requests errored or timed out.
+	Failed int `json:"failed"`
+	// Dropped arrivals exceeded MaxInFlight and were never sent.
+	Dropped     int     `json:"dropped"`
+	DurationSec float64 `json:"duration_sec"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	// GoodputRPS is completed requests per second of wall clock.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// OverloadRate is Overloaded/Offered — the shed fraction.
+	OverloadRate float64 `json:"overload_rate"`
+	// Latency quantiles are over completed requests only.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// String renders the report as a human-readable block.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"profile=%s offered=%d (%.1f rps) completed=%d (%.1f rps goodput) overloaded=%d (%.2f%%) failed=%d dropped=%d\n"+
+			"latency: p50=%.3fms p99=%.3fms mean=%.3fms over %.2fs",
+		r.Profile, r.Offered, r.OfferedRPS, r.Completed, r.GoodputRPS,
+		r.Overloaded, 100*r.OverloadRate, r.Failed, r.Dropped,
+		r.P50Ms, r.P99Ms, r.MeanMs, r.DurationSec)
+}
+
+// schedule precomputes the run's Poisson arrival offsets: exponential gaps
+// drawn at the instantaneous rate Rate x Curve(t/Duration). The schedule is
+// a pure function of the config, so one seed is one reproducible timeline.
+func schedule(cfg Config) []time.Duration {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	durSec := cfg.Duration.Seconds()
+	var offs []time.Duration
+	t := 0.0
+	for {
+		rate := cfg.Rate * cfg.Curve.At(t/durSec)
+		if rate <= 0 {
+			rate = cfg.Rate
+		}
+		t += rng.ExpFloat64() / rate
+		if t >= durSec {
+			return offs
+		}
+		offs = append(offs, time.Duration(t*float64(time.Second)))
+	}
+}
+
+// Run fires the configured open-loop arrival process at the target and
+// reports what came back. Cancelling ctx stops offering new arrivals;
+// everything already in flight is still awaited.
+func Run(ctx context.Context, target Target, cfg Config) (*Report, error) {
+	if target == nil {
+		return nil, fmt.Errorf("loadgen: nil target")
+	}
+	if cfg.Rate <= 0 || cfg.Duration <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("loadgen: need positive rate, duration and cols (got %g, %v, %d)",
+			cfg.Rate, cfg.Duration, cfg.Cols)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+
+	// A small pool of pregenerated request vectors: the inputs' values do
+	// not affect serving cost, and generating them off the hot loop keeps
+	// the arrival timing honest.
+	f := field.Default()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	pool := make([][]field.Elem, 64)
+	for i := range pool {
+		pool[i] = f.RandVec(rng, cfg.Cols)
+	}
+
+	offs := schedule(cfg)
+	hist := metrics.NewHistogram()
+	var mu sync.Mutex
+	var completed, overloaded, failed, dropped, offered int
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+arrivals:
+	for i, off := range offs {
+		if wait := time.Until(start.Add(off)); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break arrivals
+			}
+		}
+		offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped++
+			continue
+		}
+		wg.Add(1)
+		go func(in []field.Elem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			err := target.Do(rctx, in)
+			lat := time.Since(t0).Seconds()
+			mu.Lock()
+			switch {
+			case err == nil:
+				completed++
+				hist.Observe(lat)
+			case errors.Is(err, ErrOverload):
+				overloaded++
+			default:
+				failed++
+			}
+			mu.Unlock()
+		}(pool[i%len(pool)])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	snap := hist.Snapshot()
+	rep := &Report{
+		Profile:     cfg.Curve.Name,
+		Offered:     offered,
+		Completed:   completed,
+		Overloaded:  overloaded,
+		Failed:      failed,
+		Dropped:     dropped,
+		DurationSec: elapsed,
+		P50Ms:       snap.P50 * 1e3,
+		P99Ms:       snap.P99 * 1e3,
+	}
+	if rep.Profile == "" {
+		rep.Profile = "flat"
+	}
+	if elapsed > 0 {
+		rep.OfferedRPS = float64(offered) / elapsed
+		rep.GoodputRPS = float64(completed) / elapsed
+	}
+	if offered > 0 {
+		rep.OverloadRate = float64(overloaded) / float64(offered)
+	}
+	if snap.Count > 0 {
+		rep.MeanMs = snap.Sum / float64(snap.Count) * 1e3
+	}
+	return rep, nil
+}

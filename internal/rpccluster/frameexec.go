@@ -1,0 +1,346 @@
+package rpccluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+)
+
+// frameDialTimeout bounds (re)connection attempts: a dead endpoint costs
+// one refused/timed-out dial, an erasure, not a wedged round.
+const frameDialTimeout = 5 * time.Second
+
+// errConnClosed rejects calls after Close.
+var errConnClosed = errors.New("rpccluster: connection closed")
+
+// errConnFailed marks a call whose connection died before its response
+// arrived — a transport failure the caller reads as an erasure.
+var errConnFailed = errors.New("rpccluster: connection failed")
+
+// WorkerError is a server-side application error relayed over the framed
+// transport — the framed analogue of rpc.ServerError. The endpoint is alive
+// and answered, so the executor surfaces it as Result.Err rather than
+// hiding the worker behind an erasure.
+type WorkerError string
+
+// Error implements error.
+func (e WorkerError) Error() string { return string(e) }
+
+// frameConn is one persistent framed connection to a worker endpoint. Every
+// in-flight call owns an entry in pending keyed by its request ID; a caller
+// that gives up (timeout, cancellation) reaps its entry immediately, so the
+// late response frame matches nothing on arrival and is discarded — nothing
+// a slow server does can pin client memory. A severed connection fails all
+// its pending calls at once and is redialled lazily by the next call.
+type frameConn struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]chan *responseFrame
+	closed  bool
+
+	// wmu serialises frame writes; writes happen outside mu so a reap never
+	// waits behind a large payload hitting the socket.
+	wmu sync.Mutex
+}
+
+func newFrameConn(addr string) *frameConn {
+	return &frameConn{addr: addr, pending: make(map[uint64]chan *responseFrame)}
+}
+
+// connect eagerly establishes the connection (DialFrames' fail-fast path).
+func (c *frameConn) connect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ensureLocked()
+}
+
+// ensureLocked dials and starts the read loop if no connection is live.
+// Callers hold c.mu.
+func (c *frameConn) ensureLocked() error {
+	if c.closed {
+		return errConnClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, frameDialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	go c.readLoop(conn)
+	return nil
+}
+
+// attach registers a pending call and returns the connection to write it
+// to, redialling first if the previous connection died.
+func (c *frameConn) attach(id uint64, ch chan *responseFrame) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	c.pending[id] = ch
+	return c.conn, nil
+}
+
+// reap abandons a pending call: the entry is removed NOW, so the response —
+// if it ever arrives — is discarded at the read loop instead of pinning the
+// entry until the executor closes (the net/rpc failure mode this transport
+// exists to fix).
+func (c *frameConn) reap(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// fail severs conn (if it is still the live one) and fails every call
+// pending on it by closing their channels.
+func (c *frameConn) fail(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	failed := c.pending
+	c.pending = make(map[uint64]chan *responseFrame)
+	c.mu.Unlock()
+	for _, ch := range failed {
+		close(ch)
+	}
+}
+
+// readLoop delivers response frames to their pending calls until the
+// connection dies or a frame is malformed.
+func (c *frameConn) readLoop(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		resp, err := readResponse(br)
+		if err != nil {
+			c.fail(conn)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks the loop
+		}
+		// A frame matching nothing answers a reaped call: discarded.
+	}
+}
+
+// pendingCount reports the live pending-call entries (soak tests assert it
+// returns to zero after rounds full of abandoned calls).
+func (c *frameConn) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// close tears the connection down and fails anything in flight.
+func (c *frameConn) close() {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	failed := c.pending
+	c.pending = make(map[uint64]chan *responseFrame)
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, ch := range failed {
+		close(ch)
+	}
+}
+
+// call issues one framed request under the effective deadline (configured
+// cap ∧ context deadline) and aborts on context cancellation. Give-ups reap
+// the pending entry immediately.
+func (c *frameConn) call(ctx context.Context, cap time.Duration, id uint64, worker int, tail []byte) (*responseFrame, error) {
+	timeout, has := effectiveTimeout(cap, ctx)
+	if has && timeout <= 0 {
+		// The caller's deadline had already passed before the call could go
+		// out: attribute it to the context, not to a slow worker.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.DeadlineExceeded
+	}
+	ch := make(chan *responseFrame, 1)
+	conn, err := c.attach(id, ch)
+	if err != nil {
+		return nil, err
+	}
+	var head [requestHeadLen]byte
+	requestHead(&head, id, worker, len(tail))
+	bufs := net.Buffers{head[:], tail}
+	c.wmu.Lock()
+	_, werr := bufs.WriteTo(conn)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(conn) // clears our pending entry with everyone else's
+		return nil, werr
+	}
+	if !has {
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				return nil, errConnFailed
+			}
+			return resp, nil
+		case <-ctx.Done():
+			c.reap(id)
+			return nil, ctx.Err()
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, errConnFailed
+		}
+		return resp, nil
+	case <-timer.C:
+		c.reap(id)
+		return nil, errCallTimeout
+	case <-ctx.Done():
+		c.reap(id)
+		return nil, ctx.Err()
+	}
+}
+
+// FrameExecutor implements cluster.Executor over the framed transport:
+// persistent per-worker connections, explicit request IDs with immediate
+// reaping of abandoned calls, zero-copy element payloads, and a broadcast
+// path that encodes the round's input once for all workers.
+type FrameExecutor struct {
+	conns  []*frameConn
+	ids    []int
+	idx    map[int]int
+	nextID atomic.Uint64
+	// Timeout is the per-call deadline cap, with exactly RPCExecutor's
+	// semantics: the effective deadline is Timeout ∧ the context's deadline,
+	// 0 means DefaultCallTimeout, negative leaves only the context
+	// governing. A call that exceeds its deadline or fails at the transport
+	// layer yields no Result (an erasure); a server-side application error
+	// surfaces as Result.Err.
+	Timeout time.Duration
+	// CommitOutputs makes every call request an output commitment from the
+	// worker (the committed-verification plane).
+	CommitOutputs bool
+}
+
+// DialFrames connects to framed worker endpoints. addrs[i] must host the
+// worker whose ID is ids[i] (or 0..len-1 when ids is nil). All endpoints
+// are dialled eagerly so a bad address fails deployment, not a round; a
+// connection that later dies is redialled lazily, costing the round it
+// failed in one erasure.
+func DialFrames(addrs []string, ids []int) (*FrameExecutor, error) {
+	if ids == nil {
+		ids = make([]int, len(addrs))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	if len(ids) != len(addrs) {
+		return nil, fmt.Errorf("rpccluster: %d ids for %d addrs", len(ids), len(addrs))
+	}
+	e := &FrameExecutor{ids: ids, idx: make(map[int]int, len(ids))}
+	for i, id := range ids {
+		e.idx[id] = i
+	}
+	for _, a := range addrs {
+		c := newFrameConn(a)
+		if err := c.connect(); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("rpccluster: dial %s: %w", a, err)
+		}
+		e.conns = append(e.conns, c)
+	}
+	return e, nil
+}
+
+// Close tears down all connections.
+func (e *FrameExecutor) Close() {
+	for _, c := range e.conns {
+		c.close()
+	}
+}
+
+// pendingCalls sums the live pending-call entries across all connections.
+// The wedged-server soak asserts it returns to zero once every abandoned
+// call has been reaped.
+func (e *FrameExecutor) pendingCalls() int {
+	n := 0
+	for _, c := range e.conns {
+		n += c.pendingCount()
+	}
+	return n
+}
+
+// RunRound implements cluster.Executor with the same result semantics as
+// the net/rpc executor — workers whose calls time out or fail at the
+// transport layer are omitted (erasures), server-side errors surface as
+// Result.Err, results are ordered by real completion time — but encodes the
+// round's broadcast input ONCE and writes it to every worker, instead of
+// re-serialising the full coded payload per call.
+func (e *FrameExecutor) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []cluster.Result {
+	tail := encodeRequestTail(key, batch, iter, e.CommitOutputs, input)
+	start := time.Now()
+	var mu sync.Mutex
+	results := make([]cluster.Result, 0, len(active))
+	var wg sync.WaitGroup
+	for _, id := range active {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res := cluster.Result{Worker: id}
+			ci, ok := e.idx[id]
+			if !ok {
+				res.Err = fmt.Errorf("rpccluster: no connection for worker %d", id)
+			} else {
+				t0 := time.Now()
+				resp, err := e.conns[ci].call(ctx, e.Timeout, e.nextID.Add(1), id, tail)
+				if err != nil {
+					// Timeout, cancellation or transport failure: the
+					// endpoint is gone as far as this round is concerned.
+					// Report the worker missing rather than poisoning the
+					// round with an error the master cannot act on.
+					return
+				}
+				res.ComputeSec = time.Since(t0).Seconds()
+				res.Output = resp.Output
+				res.Commit = resp.Commit
+				if resp.Err != "" {
+					res.Err = WorkerError(resp.Err)
+				}
+			}
+			res.ArriveAt = time.Since(start).Seconds()
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].ArriveAt < results[j].ArriveAt })
+	return results
+}

@@ -1,0 +1,171 @@
+package rpccluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/commit"
+	"repro/internal/field"
+)
+
+// FrameServer is one worker endpoint speaking the framed wire protocol. It
+// mirrors the net/rpc Server's lifecycle contract: Close tears down the
+// listener AND every established connection, so closing a server mid-round
+// behaves like the machine dying — in-flight calls fail at the client
+// instead of hanging.
+type FrameServer struct {
+	Addr     string
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	f       *field.Field
+	workers map[int]*cluster.Worker
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// ServeFrames starts a framed worker endpoint on addr (use "127.0.0.1:0"
+// to pick a free port) hosting the given workers, keyed by their IDs. One
+// server can host many workers — tests and the demo binary colocate them —
+// and a request naming a worker the server does not host is answered with
+// an application error, exactly like net/rpc's unknown-service reply.
+func ServeFrames(addr string, f *field.Field, workers ...*cluster.Worker) (*FrameServer, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("rpccluster: ServeFrames needs at least one worker")
+	}
+	byID := make(map[int]*cluster.Worker, len(workers))
+	for _, w := range workers {
+		if _, dup := byID[w.ID]; dup {
+			return nil, fmt.Errorf("rpccluster: duplicate worker ID %d", w.ID)
+		}
+		byID[w.ID] = w
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &FrameServer{
+		Addr:     l.Addr().String(),
+		listener: l,
+		f:        f,
+		workers:  byID,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			if !s.track(conn) {
+				conn.Close()
+				return
+			}
+			go func() {
+				defer s.untrack(conn)
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return s, nil
+}
+
+func (s *FrameServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *FrameServer) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops accepting connections, severs all established connections
+// (failing any in-flight calls), and waits for the accept loop to exit.
+func (s *FrameServer) Close() error {
+	err := s.listener.Close()
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// serveConn reads request frames until the connection dies or a frame is
+// malformed (at which point the stream cannot be re-framed and the
+// connection is closed). Each request computes in its own goroutine so a
+// slow round does not head-of-line-block later requests multiplexed on the
+// same connection; responses are serialised by a write lock.
+func (s *FrameServer) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var wmu sync.Mutex
+	var pending sync.WaitGroup
+	defer pending.Wait()
+	for {
+		req, err := readRequest(br)
+		if err != nil {
+			return
+		}
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			resp := s.handle(req)
+			head, elems, tail := encodeResponseParts(resp)
+			bufs := net.Buffers{head}
+			if elems != nil {
+				bufs = append(bufs, elems)
+			}
+			if tail != nil {
+				bufs = append(bufs, tail)
+			}
+			wmu.Lock()
+			_, _ = bufs.WriteTo(conn) // a write error kills the conn; the reader sees it
+			wmu.Unlock()
+		}()
+	}
+}
+
+// handle runs one worker computation. Byzantine behaviour (if the worker is
+// configured with one) is applied server-side, exactly as a compromised
+// machine would; the output commitment covers what the worker actually
+// sends, behaviour included — a Byzantine worker commits to its lie, it
+// does not get to lie about its commitment.
+func (s *FrameServer) handle(req *requestFrame) *responseFrame {
+	resp := &responseFrame{ID: req.ID}
+	w, ok := s.workers[req.Worker]
+	if !ok {
+		resp.Err = fmt.Sprintf("rpccluster: server does not host worker %d", req.Worker)
+		return resp
+	}
+	batch := req.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	out, _, err := w.Compute(s.f, req.Key, req.Input, batch, req.Iter)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Output = out
+	if req.Commit {
+		resp.Commit = commit.OutputRoot(out)
+	}
+	return resp
+}

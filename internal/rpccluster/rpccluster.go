@@ -1,7 +1,19 @@
 // Package rpccluster runs the worker side of the protocol as real network
-// services: each worker is a net/rpc server over TCP, and RPCExecutor makes
-// any master (AVCC or baseline) drive those remote workers instead of the
-// virtual-time simulator.
+// services, and gives masters (AVCC or baseline) executors that drive those
+// remote workers instead of the virtual-time simulator.
+//
+// Two transports are provided, with identical cluster.Executor semantics
+// (deadline ∧ context, transport failure ⇒ erasure, server-side error ⇒
+// Result.Err) so the conformance suites run against either:
+//
+//   - FrameExecutor / FrameServer: the streaming binary transport
+//     (frame.go) — length-prefixed frames over persistent connections,
+//     explicit request IDs with immediate reaping of abandoned calls,
+//     zero-copy []field.Elem payloads, and broadcast-once rounds. This is
+//     the deployment data plane.
+//   - RPCExecutor / Server: the legacy net/rpc path, kept as the
+//     comparison baseline, with its abandoned-call leak fixed by
+//     connection recycling (see rpcEndpoint).
 //
 // This is the "it actually distributes" path: the algebra, verification and
 // decode logic are byte-identical to the simulated runs; only arrival times
@@ -161,10 +173,85 @@ func (s *Server) Close() error {
 // decodes from the survivors.
 const DefaultCallTimeout = 30 * time.Second
 
-// RPCExecutor implements cluster.Executor against remote workers.
+// rpcEndpoint wraps one net/rpc client connection with the recycling that
+// keeps the legacy path leak-free. net/rpc offers no way to cancel a
+// pending call: an abandoned (timed-out, cancelled) call's entry sits in
+// the client's pending map — pinning its arguments and reply — until the
+// server eventually answers or the connection closes. A wedged server
+// therefore used to leak every abandoned call for the executor's lifetime.
+// Recycling closes the connection the moment a call is abandoned on it
+// (freeing everything pending) and redials lazily on the next call.
+type rpcEndpoint struct {
+	addr string
+
+	mu     sync.Mutex
+	client *rpc.Client
+	gen    int // increments per recycle, so stale abandons can't close a fresh client
+	closed bool
+	// recycles counts connection replacements; the wedged-server soak
+	// asserts abandoned calls trigger them instead of accumulating.
+	recycles int
+}
+
+// get returns the live client, redialling if the previous connection was
+// recycled or died. The generation identifies the returned client for a
+// later recycle call.
+func (ep *rpcEndpoint) get() (*rpc.Client, int, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, 0, errConnClosed
+	}
+	if ep.client == nil {
+		c, err := rpc.Dial("tcp", ep.addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		ep.client = c
+	}
+	return ep.client, ep.gen, nil
+}
+
+// recycle retires the client a call was abandoned on. Closing it releases
+// every entry in its pending map (net/rpc fails them with ErrShutdown), so
+// nothing stays pinned; concurrent calls still in flight on the same
+// connection fail as transport errors, which the caller already absorbs as
+// erasures. A stale generation (the client was already replaced) is a no-op.
+func (ep *rpcEndpoint) recycle(gen int) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.client == nil || ep.gen != gen {
+		return
+	}
+	ep.client.Close()
+	ep.client = nil
+	ep.gen++
+	ep.recycles++
+}
+
+func (ep *rpcEndpoint) close() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.closed = true
+	if ep.client != nil {
+		ep.client.Close()
+		ep.client = nil
+	}
+}
+
+// RPCExecutor implements cluster.Executor against remote workers over
+// net/rpc. It is the legacy transport — FrameExecutor is the streaming
+// replacement — kept as the comparison baseline and for wire compatibility
+// with existing worker fleets, with its data-plane leaks fixed by
+// connection recycling (see rpcEndpoint).
 type RPCExecutor struct {
-	clients []*rpc.Client
-	ids     []int
+	endpoints []*rpcEndpoint
+	ids       []int
+	// idx and methods are precomputed at Dial so the per-round hot path
+	// does not rebuild the id→client map or re-Sprintf the service method
+	// name on every call.
+	idx     map[int]int
+	methods []string
 	// Timeout is the per-call deadline CAP. The effective deadline of each
 	// worker call derives from the round's context first: a caller deadline
 	// tighter than Timeout wins, and cancelling the context aborts every
@@ -195,36 +282,49 @@ func Dial(addrs []string, ids []int) (*RPCExecutor, error) {
 	if len(ids) != len(addrs) {
 		return nil, fmt.Errorf("rpccluster: %d ids for %d addrs", len(ids), len(addrs))
 	}
-	e := &RPCExecutor{ids: ids}
+	e := &RPCExecutor{ids: ids, idx: make(map[int]int, len(ids)), methods: make([]string, len(ids))}
+	for i, id := range ids {
+		e.idx[id] = i
+		e.methods[i] = fmt.Sprintf("Worker%d.Compute", id)
+	}
 	for _, a := range addrs {
-		c, err := rpc.Dial("tcp", a)
-		if err != nil {
+		ep := &rpcEndpoint{addr: a}
+		if _, _, err := ep.get(); err != nil {
 			e.Close()
 			return nil, fmt.Errorf("rpccluster: dial %s: %w", a, err)
 		}
-		e.clients = append(e.clients, c)
+		e.endpoints = append(e.endpoints, ep)
 	}
 	return e, nil
 }
 
 // Close tears down all client connections.
 func (e *RPCExecutor) Close() {
-	for _, c := range e.clients {
-		if c != nil {
-			c.Close()
-		}
+	for _, ep := range e.endpoints {
+		ep.close()
 	}
+}
+
+// recycles sums connection replacements across endpoints (test hook).
+func (e *RPCExecutor) recycleCount() int {
+	n := 0
+	for _, ep := range e.endpoints {
+		ep.mu.Lock()
+		n += ep.recycles
+		ep.mu.Unlock()
+	}
+	return n
 }
 
 // errCallTimeout marks a call that outlived the per-call deadline.
 var errCallTimeout = errors.New("rpccluster: call deadline exceeded")
 
-// callTimeout resolves the effective per-call deadline: the configured cap
-// (Timeout, with 0 meaning DefaultCallTimeout and negative meaning no cap)
-// tightened by whatever deadline the round's context carries. The boolean
-// reports whether any deadline applies at all.
-func (e *RPCExecutor) callTimeout(ctx context.Context) (time.Duration, bool) {
-	limit := e.Timeout
+// effectiveTimeout resolves the per-call deadline shared by both transports:
+// the configured cap (with 0 meaning DefaultCallTimeout and negative
+// meaning no cap) tightened by whatever deadline the round's context
+// carries. The boolean reports whether any deadline applies at all.
+func effectiveTimeout(cap time.Duration, ctx context.Context) (time.Duration, bool) {
+	limit := cap
 	has := true
 	switch {
 	case limit == 0:
@@ -241,22 +341,34 @@ func (e *RPCExecutor) callTimeout(ctx context.Context) (time.Duration, bool) {
 }
 
 // call issues one worker RPC under the effective deadline (configured cap ∧
-// context deadline) and aborts on context cancellation. On timeout or
-// cancellation the pending call is abandoned (net/rpc keeps the goroutine
-// until the client closes); the caller treats the worker as missing.
-func (e *RPCExecutor) call(ctx context.Context, ci, id int, args *ComputeArgs, reply *ComputeReply) error {
-	c := e.clients[ci].Go(fmt.Sprintf("Worker%d.Compute", id), args, reply, make(chan *rpc.Call, 1))
-	timeout, has := e.callTimeout(ctx)
+// context deadline) and aborts on context cancellation. An abandoned call
+// (timeout or cancellation) recycles its connection so nothing stays pinned
+// in net/rpc's pending map; the caller treats the worker as missing.
+func (e *RPCExecutor) call(ctx context.Context, ci int, args *ComputeArgs, reply *ComputeReply) error {
+	timeout, has := effectiveTimeout(e.Timeout, ctx)
+	if has && timeout <= 0 {
+		// The caller's deadline had already passed before the call could go
+		// out: attribute it to the context, not to a slow worker — callers
+		// must be able to distinguish their own cancellation from a wedged
+		// endpoint. (This used to return errCallTimeout.)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return context.DeadlineExceeded
+	}
+	client, gen, err := e.endpoints[ci].get()
+	if err != nil {
+		return err
+	}
+	c := client.Go(e.methods[ci], args, reply, make(chan *rpc.Call, 1))
 	if !has {
 		select {
 		case <-c.Done:
 			return c.Error
 		case <-ctx.Done():
+			e.endpoints[ci].recycle(gen)
 			return ctx.Err()
 		}
-	}
-	if timeout <= 0 {
-		return errCallTimeout // deadline already in the past
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -264,8 +376,10 @@ func (e *RPCExecutor) call(ctx context.Context, ci, id int, args *ComputeArgs, r
 	case <-c.Done:
 		return c.Error
 	case <-timer.C:
+		e.endpoints[ci].recycle(gen)
 		return errCallTimeout
 	case <-ctx.Done():
+		e.endpoints[ci].recycle(gen)
 		return ctx.Err()
 	}
 }
@@ -279,10 +393,6 @@ func (e *RPCExecutor) call(ctx context.Context, ci, id int, args *ComputeArgs, r
 // whole round at once (the master reports the cancellation; the abandoned
 // replies are discarded).
 func (e *RPCExecutor) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []cluster.Result {
-	idx := make(map[int]int, len(e.ids))
-	for i, id := range e.ids {
-		idx[id] = i
-	}
 	start := time.Now()
 	var mu sync.Mutex
 	results := make([]cluster.Result, 0, len(active))
@@ -292,13 +402,13 @@ func (e *RPCExecutor) RunRound(ctx context.Context, key string, input []field.El
 		go func(id int) {
 			defer wg.Done()
 			res := cluster.Result{Worker: id}
-			ci, ok := idx[id]
+			ci, ok := e.idx[id]
 			if !ok {
 				res.Err = fmt.Errorf("rpccluster: no connection for worker %d", id)
 			} else {
 				t0 := time.Now()
 				var reply ComputeReply
-				err := e.call(ctx, ci, id,
+				err := e.call(ctx, ci,
 					&ComputeArgs{Key: key, Input: input, Batch: batch, Iter: iter, Commit: e.CommitOutputs}, &reply)
 				var serverErr rpc.ServerError
 				if err != nil && !errors.As(err, &serverErr) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/scheme"
@@ -29,23 +30,101 @@ func (s stall) Apply(_ *field.Field, _ int, honest []field.Elem) []field.Elem {
 
 func (stall) Name() string { return "stall" }
 
-// startCluster spins n worker RPC servers on loopback and returns a
-// connected executor plus the shard-holding workers (so the test can attach
-// shards after master-side encoding).
-func startCluster(t *testing.T, n int) ([]*cluster.Worker, *RPCExecutor) {
+// tunableExec is the transport-independent executor surface the conformance
+// suite drives: both RPCExecutor and FrameExecutor satisfy it.
+type tunableExec interface {
+	cluster.Executor
+	Close()
+	setTimeout(time.Duration)
+	setCommit(bool)
+}
+
+func (e *RPCExecutor) setTimeout(d time.Duration)   { e.Timeout = d }
+func (e *RPCExecutor) setCommit(on bool)            { e.CommitOutputs = on }
+func (e *FrameExecutor) setTimeout(d time.Duration) { e.Timeout = d }
+func (e *FrameExecutor) setCommit(on bool)          { e.CommitOutputs = on }
+
+// transport abstracts serve+dial so every regression test runs over BOTH
+// the legacy net/rpc path and the framed streaming transport: the two must
+// keep bit-exact cluster.Executor semantics (deadline ∧ ctx, transport
+// failure ⇒ erasure, server error ⇒ Result.Err) or the conformance suites
+// lose their meaning.
+type transport struct {
+	name  string
+	serve func(f *field.Field, w *cluster.Worker) (addr string, closer func() error, err error)
+	dial  func(addrs []string, ids []int) (tunableExec, error)
+}
+
+var transports = []transport{
+	{
+		name: "netrpc",
+		serve: func(f *field.Field, w *cluster.Worker) (string, func() error, error) {
+			s, err := Serve("127.0.0.1:0", f, w)
+			if err != nil {
+				return "", nil, err
+			}
+			return s.Addr, s.Close, nil
+		},
+		dial: func(addrs []string, ids []int) (tunableExec, error) { return Dial(addrs, ids) },
+	},
+	{
+		name: "frames",
+		serve: func(f *field.Field, w *cluster.Worker) (string, func() error, error) {
+			s, err := ServeFrames("127.0.0.1:0", f, w)
+			if err != nil {
+				return "", nil, err
+			}
+			return s.Addr, s.Close, nil
+		},
+		dial: func(addrs []string, ids []int) (tunableExec, error) { return DialFrames(addrs, ids) },
+	},
+}
+
+func forEachTransport(t *testing.T, fn func(t *testing.T, tr transport)) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) { fn(t, tr) })
+	}
+}
+
+// startServers spins n worker endpoints on loopback over the given
+// transport, returning the workers, their addresses, and per-server
+// closers (for kill-mid-round tests). Servers not closed by the test are
+// closed at cleanup.
+//
+// Worker state (shards, behaviours) must be configured in prepare, which
+// runs BEFORE any server goroutine exists: server handlers read worker
+// fields with no locking of their own, so the only sound ordering is
+// configure-then-serve — exactly the deployment-time contract. A test
+// that must flip behaviour mid-run needs a self-synchronising Behavior
+// (see adjustableStall in leak_test.go).
+func startServers(t *testing.T, tr transport, n int, prepare func(workers []*cluster.Worker)) ([]*cluster.Worker, []string, []func() error) {
 	t.Helper()
 	workers := make([]*cluster.Worker, n)
-	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		workers[i] = cluster.NewWorker(i)
-		srv, err := Serve("127.0.0.1:0", f, workers[i])
+	}
+	if prepare != nil {
+		prepare(workers)
+	}
+	addrs := make([]string, n)
+	closers := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		addr, closer, err := tr.serve(f, workers[i])
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { srv.Close() })
-		addrs[i] = srv.Addr
+		addrs[i] = addr
+		closers[i] = closer
+		t.Cleanup(func() { closer() })
 	}
-	exec, err := Dial(addrs, nil)
+	return workers, addrs, closers
+}
+
+// startCluster is startServers plus a connected executor.
+func startCluster(t *testing.T, tr transport, n int, prepare func(workers []*cluster.Worker)) ([]*cluster.Worker, tunableExec) {
+	t.Helper()
+	workers, addrs, _ := startServers(t, tr, n, prepare)
+	exec, err := tr.dial(addrs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,84 +133,133 @@ func startCluster(t *testing.T, n int) ([]*cluster.Worker, *RPCExecutor) {
 }
 
 func TestRPCRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(200))
-	workers, exec := startCluster(t, 4)
-	shards := make([]*fieldmat.Matrix, 4)
-	for i, w := range workers {
-		shards[i] = fieldmat.Rand(f, rng, 6, 8)
-		w.Shards["fwd"] = shards[i]
-	}
-	in := f.RandVec(rng, 8)
-	results := exec.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 2, 3})
-	if len(results) != 4 {
-		t.Fatalf("got %d results", len(results))
-	}
-	seen := map[int]bool{}
-	for _, r := range results {
-		if r.Err != nil {
-			t.Fatal(r.Err)
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(200))
+		shards := make([]*fieldmat.Matrix, 4)
+		_, exec := startCluster(t, tr, 4, func(workers []*cluster.Worker) {
+			for i, w := range workers {
+				shards[i] = fieldmat.Rand(f, rng, 6, 8)
+				w.Shards["fwd"] = shards[i]
+			}
+		})
+		in := f.RandVec(rng, 8)
+		results := exec.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 2, 3})
+		if len(results) != 4 {
+			t.Fatalf("got %d results", len(results))
 		}
-		want := fieldmat.MatVec(f, shards[r.Worker], in)
-		if !field.EqualVec(r.Output, want) {
-			t.Fatalf("worker %d returned wrong product over RPC", r.Worker)
+		seen := map[int]bool{}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			want := fieldmat.MatVec(f, shards[r.Worker], in)
+			if !field.EqualVec(r.Output, want) {
+				t.Fatalf("worker %d returned wrong product over the wire", r.Worker)
+			}
+			seen[r.Worker] = true
 		}
-		seen[r.Worker] = true
-	}
-	if len(seen) != 4 {
-		t.Fatal("duplicate/missing workers")
-	}
+		if len(seen) != 4 {
+			t.Fatal("duplicate/missing workers")
+		}
+	})
 }
 
 func TestRPCWorkerErrorPropagates(t *testing.T) {
-	_, exec := startCluster(t, 1) // worker 0 has no shards
-	results := exec.RunRound(context.Background(), "missing", []field.Elem{1}, 1, 0, []int{0})
-	if len(results) != 1 || results[0].Err == nil {
-		t.Fatal("expected an RPC-propagated worker error")
-	}
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		_, exec := startCluster(t, tr, 1, nil) // worker 0 has no shards
+		results := exec.RunRound(context.Background(), "missing", []field.Elem{1}, 1, 0, []int{0})
+		if len(results) != 1 || results[0].Err == nil {
+			t.Fatal("expected a wire-propagated worker error")
+		}
+	})
 }
 
 func TestRPCByzantineAppliedServerSide(t *testing.T) {
-	rng := rand.New(rand.NewSource(201))
-	workers, exec := startCluster(t, 2)
-	for _, w := range workers {
-		w.Shards["fwd"] = fieldmat.Rand(f, rng, 3, 3)
-	}
-	workers[1].Behavior = attack.Constant{V: 7}
-	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 3), 1, 0, []int{0, 1})
-	for _, r := range results {
-		if r.Worker == 1 {
-			for _, v := range r.Output {
-				if v != 7 {
-					t.Fatal("server-side Byzantine behaviour missing")
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(201))
+		_, exec := startCluster(t, tr, 2, func(workers []*cluster.Worker) {
+			for _, w := range workers {
+				w.Shards["fwd"] = fieldmat.Rand(f, rng, 3, 3)
+			}
+			workers[1].Behavior = attack.Constant{V: 7}
+		})
+		results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 3), 1, 0, []int{0, 1})
+		for _, r := range results {
+			if r.Worker == 1 {
+				for _, v := range r.Output {
+					if v != 7 {
+						t.Fatal("server-side Byzantine behaviour missing")
+					}
 				}
 			}
 		}
-	}
+	})
 }
 
 func TestRPCDialUnknownAddress(t *testing.T) {
-	if _, err := Dial([]string{"127.0.0.1:1"}, nil); err == nil {
-		t.Fatal("dialing a dead port should fail")
-	}
-	if _, err := Dial([]string{"127.0.0.1:1", "127.0.0.1:2"}, []int{0}); err == nil {
-		t.Fatal("id/addr mismatch accepted")
-	}
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		if _, err := tr.dial([]string{"127.0.0.1:1"}, nil); err == nil {
+			t.Fatal("dialing a dead port should fail")
+		}
+		if _, err := tr.dial([]string{"127.0.0.1:1", "127.0.0.1:2"}, []int{0}); err == nil {
+			t.Fatal("id/addr mismatch accepted")
+		}
+	})
 }
 
 func TestRPCMissingWorkerConnection(t *testing.T) {
-	rng := rand.New(rand.NewSource(202))
-	workers, exec := startCluster(t, 1)
-	workers[0].Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
-	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 5})
-	var missingErr bool
-	for _, r := range results {
-		if r.Worker == 5 && r.Err != nil {
-			missingErr = true
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(202))
+		_, exec := startCluster(t, tr, 1, func(workers []*cluster.Worker) {
+			workers[0].Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+		})
+		results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 5})
+		var missingErr bool
+		for _, r := range results {
+			if r.Worker == 5 && r.Err != nil {
+				missingErr = true
+			}
 		}
-	}
-	if !missingErr {
-		t.Fatal("missing connection should surface as an error result")
-	}
+		if !missingErr {
+			t.Fatal("missing connection should surface as an error result")
+		}
+	})
+}
+
+func TestRPCCommitShipping(t *testing.T) {
+	// The committed-verification plane rides the wire: with CommitOutputs
+	// set, every result carries the worker's Merkle commitment to exactly
+	// the output it sent — over either transport.
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(211))
+		_, exec := startCluster(t, tr, 2, func(workers []*cluster.Worker) {
+			for _, w := range workers {
+				w.Shards["fwd"] = fieldmat.Rand(f, rng, 3, 4)
+			}
+			workers[1].Behavior = attack.Constant{V: 9} // commits to its lie
+		})
+		exec.setCommit(true)
+		results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 4), 1, 0, []int{0, 1})
+		if len(results) != 2 {
+			t.Fatalf("got %d results", len(results))
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			want := commit.OutputRoot(r.Output)
+			if string(r.Commit) != string(want) {
+				t.Fatalf("worker %d commitment does not cover its shipped output", r.Worker)
+			}
+		}
+		// And without the flag the wire stays commitment-free.
+		exec.setCommit(false)
+		for _, r := range exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 4), 1, 0, []int{0, 1}) {
+			if r.Commit != nil {
+				t.Fatal("commitment shipped without being requested")
+			}
+		}
+	})
 }
 
 func TestRPCCallDeadlineReportsWorkerMissing(t *testing.T) {
@@ -139,152 +267,130 @@ func TestRPCCallDeadlineReportsWorkerMissing(t *testing.T) {
 	// worker blocked the round forever. A call that outlives Timeout must
 	// be reported as an erasure — no result for that worker — while the
 	// healthy workers' results come back.
-	rng := rand.New(rand.NewSource(204))
-	workers, exec := startCluster(t, 3)
-	for _, w := range workers {
-		w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
-	}
-	workers[1].Behavior = stall{Delay: 5 * time.Second}
-	exec.Timeout = 100 * time.Millisecond
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(204))
+		_, exec := startCluster(t, tr, 3, func(workers []*cluster.Worker) {
+			for _, w := range workers {
+				w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+			}
+			workers[1].Behavior = stall{Delay: 5 * time.Second}
+		})
+		exec.setTimeout(100 * time.Millisecond)
 
-	start := time.Now()
-	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("round took %v: the deadline did not bound the wedged call", elapsed)
-	}
-	if len(results) != 2 {
-		t.Fatalf("got %d results, want 2 (the wedged worker is an erasure)", len(results))
-	}
-	for _, r := range results {
-		if r.Worker == 1 {
-			t.Fatal("the wedged worker must be missing, not present")
+		start := time.Now()
+		results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("round took %v: the deadline did not bound the wedged call", elapsed)
 		}
-		if r.Err != nil {
-			t.Fatalf("healthy worker %d errored: %v", r.Worker, r.Err)
+		if len(results) != 2 {
+			t.Fatalf("got %d results, want 2 (the wedged worker is an erasure)", len(results))
 		}
-	}
+		for _, r := range results {
+			if r.Worker == 1 {
+				t.Fatal("the wedged worker must be missing, not present")
+			}
+			if r.Err != nil {
+				t.Fatalf("healthy worker %d errored: %v", r.Worker, r.Err)
+			}
+		}
+	})
 }
 
 func TestRPCServerKilledMidRoundBecomesErasure(t *testing.T) {
 	// Regression: kill a worker's server while its call is in flight. The
 	// severed connection must surface as an erasure — the master decodes
 	// from the survivors — not as a round-poisoning error or a hang.
-	rng := rand.New(rand.NewSource(205))
-	workers := make([]*cluster.Worker, 3)
-	addrs := make([]string, 3)
-	servers := make([]*Server, 3)
-	for i := range workers {
-		workers[i] = cluster.NewWorker(i)
-		workers[i].Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
-		srv, err := Serve("127.0.0.1:0", f, workers[i])
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(205))
+		_, addrs, closers := startServers(t, tr, 3, func(workers []*cluster.Worker) {
+			for _, w := range workers {
+				w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+			}
+			// Worker 2 stalls long enough for the kill to land mid-call.
+			workers[2].Behavior = stall{Delay: 2 * time.Second}
+		})
+		exec, err := tr.dial(addrs, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		servers[i] = srv
-		addrs[i] = srv.Addr
-	}
-	t.Cleanup(func() {
-		for _, s := range servers {
-			s.Close()
+		t.Cleanup(exec.Close)
+		exec.setTimeout(5 * time.Second)
+
+		go func() {
+			time.Sleep(100 * time.Millisecond)
+			closers[2]()
+		}()
+
+		start := time.Now()
+		results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
+		if elapsed := time.Since(start); elapsed > 4*time.Second {
+			t.Fatalf("round took %v after the mid-round kill", elapsed)
+		}
+		if len(results) != 2 {
+			t.Fatalf("got %d results, want 2 (the killed worker is an erasure)", len(results))
+		}
+		for _, r := range results {
+			if r.Worker == 2 {
+				t.Fatal("the killed worker must be missing from the results")
+			}
+			if r.Err != nil {
+				t.Fatalf("surviving worker %d errored: %v", r.Worker, r.Err)
+			}
 		}
 	})
-	exec, err := Dial(addrs, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(exec.Close)
-	exec.Timeout = 5 * time.Second
-
-	// Worker 2 stalls long enough for the kill to land mid-call.
-	workers[2].Behavior = stall{Delay: 2 * time.Second}
-	go func() {
-		time.Sleep(100 * time.Millisecond)
-		servers[2].Close()
-	}()
-
-	start := time.Now()
-	results := exec.RunRound(context.Background(), "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
-	if elapsed := time.Since(start); elapsed > 4*time.Second {
-		t.Fatalf("round took %v after the mid-round kill", elapsed)
-	}
-	if len(results) != 2 {
-		t.Fatalf("got %d results, want 2 (the killed worker is an erasure)", len(results))
-	}
-	for _, r := range results {
-		if r.Worker == 2 {
-			t.Fatal("the killed worker must be missing from the results")
-		}
-		if r.Err != nil {
-			t.Fatalf("surviving worker %d errored: %v", r.Worker, r.Err)
-		}
-	}
 }
 
 func TestAVCCDecodesAroundAWorkerDiesIn(t *testing.T) {
 	// End to end: a worker process dies mid-training; the AVCC master sees
 	// an erasure, decodes from the survivors, and the output stays exact.
-	rng := rand.New(rand.NewSource(206))
-	workers := make([]*cluster.Worker, 12)
-	addrs := make([]string, 12)
-	servers := make([]*Server, 12)
-	for i := range workers {
-		workers[i] = cluster.NewWorker(i)
-		srv, err := Serve("127.0.0.1:0", f, workers[i])
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(206))
+		x := fieldmat.Rand(f, rng, 36, 10)
+		master, err := scheme.New("avcc", f, scheme.NewConfig(
+			scheme.WithCoding(12, 9),
+			scheme.WithBudgets(1, 2, 0),
+			scheme.WithSeed(43),
+		), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		servers[i] = srv
-		addrs[i] = srv.Addr
-	}
-	t.Cleanup(func() {
-		for _, s := range servers {
-			s.Close()
+		_, addrs, closers := startServers(t, tr, 12, func(workers []*cluster.Worker) {
+			for i, w := range master.Workers() {
+				workers[i].Shards["fwd"] = w.Shards["fwd"]
+			}
+		})
+		exec, err := tr.dial(addrs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(exec.Close)
+		exec.setTimeout(5 * time.Second)
+		master.SetExecutor(exec)
+
+		w := f.RandVec(rng, 10)
+		want := fieldmat.MatVec(f, x, w)
+		if out, err := master.RunRound(context.Background(), "fwd", w, 0); err != nil {
+			t.Fatal(err)
+		} else if !field.EqualVec(out.Decoded, want) {
+			t.Fatal("pre-crash round decoded wrong")
+		}
+		closers[7]() // the machine dies between rounds
+		out, err := master.RunRound(context.Background(), "fwd", w, 1)
+		if err != nil {
+			t.Fatalf("round with a dead worker must still decode: %v", err)
+		}
+		if !field.EqualVec(out.Decoded, want) {
+			t.Fatal("post-crash round decoded wrong")
+		}
+		for _, id := range out.Used {
+			if id == 7 {
+				t.Fatal("dead worker contributed to the decode")
+			}
+		}
+		if out.StragglersObserved < 1 {
+			t.Error("the dead worker should be observed as a straggler (an erasure)")
 		}
 	})
-	exec, err := Dial(addrs, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(exec.Close)
-	exec.Timeout = 5 * time.Second
-
-	x := fieldmat.Rand(f, rng, 36, 10)
-	master, err := scheme.New("avcc", f, scheme.NewConfig(
-		scheme.WithCoding(12, 9),
-		scheme.WithBudgets(1, 2, 0),
-		scheme.WithSeed(43),
-	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, w := range master.Workers() {
-		workers[i].Shards["fwd"] = w.Shards["fwd"]
-	}
-	master.SetExecutor(exec)
-
-	w := f.RandVec(rng, 10)
-	want := fieldmat.MatVec(f, x, w)
-	if out, err := master.RunRound(context.Background(), "fwd", w, 0); err != nil {
-		t.Fatal(err)
-	} else if !field.EqualVec(out.Decoded, want) {
-		t.Fatal("pre-crash round decoded wrong")
-	}
-	servers[7].Close() // the machine dies between rounds
-	out, err := master.RunRound(context.Background(), "fwd", w, 1)
-	if err != nil {
-		t.Fatalf("round with a dead worker must still decode: %v", err)
-	}
-	if !field.EqualVec(out.Decoded, want) {
-		t.Fatal("post-crash round decoded wrong")
-	}
-	for _, id := range out.Used {
-		if id == 7 {
-			t.Fatal("dead worker contributed to the decode")
-		}
-	}
-	if out.StragglersObserved < 1 {
-		t.Error("the dead worker should be observed as a straggler (an erasure)")
-	}
 }
 
 func TestRPCCancelMidRoundReleasesTheRound(t *testing.T) {
@@ -293,172 +399,258 @@ func TestRPCCancelMidRoundReleasesTheRound(t *testing.T) {
 	// still waited out the full deadline. The per-call deadline must derive
 	// from the caller's context: cancellation releases the round
 	// immediately and the master reports the cancellation.
-	rng := rand.New(rand.NewSource(207))
-	workers, exec := startCluster(t, 3)
-	for _, w := range workers {
-		w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
-	}
-	// All three workers wedge; only the context can end this round.
-	for _, w := range workers {
-		w.Behavior = stall{Delay: 20 * time.Second}
-	}
-	// Deliberately long private timeout: proof the context governs.
-	exec.Timeout = 30 * time.Second
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(207))
+		_, exec := startCluster(t, tr, 3, func(workers []*cluster.Worker) {
+			for _, w := range workers {
+				w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+				// All three workers wedge; only the context can end this
+				// round.
+				w.Behavior = stall{Delay: 20 * time.Second}
+			}
+		})
+		// Deliberately long private timeout: proof the context governs.
+		exec.setTimeout(30 * time.Second)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond)
-		cancel()
-	}()
-	start := time.Now()
-	results := exec.RunRound(ctx, "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("cancelled round took %v: context cancellation did not release it", elapsed)
-	}
-	if len(results) != 0 {
-		t.Fatalf("got %d results from a round cancelled before any reply", len(results))
-	}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		results := exec.RunRound(ctx, "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1, 2})
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("cancelled round took %v: context cancellation did not release it", elapsed)
+		}
+		if len(results) != 0 {
+			t.Fatalf("got %d results from a round cancelled before any reply", len(results))
+		}
+	})
 }
 
 func TestRPCContextDeadlineTightensPrivateTimeout(t *testing.T) {
 	// A caller deadline tighter than the configured Timeout must win.
-	rng := rand.New(rand.NewSource(208))
-	workers, exec := startCluster(t, 2)
-	for _, w := range workers {
-		w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
-	}
-	workers[1].Behavior = stall{Delay: 20 * time.Second}
-	exec.Timeout = 30 * time.Second
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(208))
+		_, exec := startCluster(t, tr, 2, func(workers []*cluster.Worker) {
+			for _, w := range workers {
+				w.Shards["fwd"] = fieldmat.Rand(f, rng, 2, 2)
+			}
+			workers[1].Behavior = stall{Delay: 20 * time.Second}
+		})
+		exec.setTimeout(30 * time.Second)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
-	defer cancel()
-	start := time.Now()
-	results := exec.RunRound(ctx, "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1})
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("round took %v: the context deadline did not tighten the 30s timeout", elapsed)
-	}
-	// The healthy worker answered inside the deadline; the wedged one is an
-	// erasure.
-	if len(results) != 1 || results[0].Worker != 0 {
-		t.Fatalf("want only worker 0's result, got %+v", results)
-	}
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		results := exec.RunRound(ctx, "fwd", f.RandVec(rng, 2), 1, 0, []int{0, 1})
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("round took %v: the context deadline did not tighten the 30s timeout", elapsed)
+		}
+		// The healthy worker answered inside the deadline; the wedged one is
+		// an erasure.
+		if len(results) != 1 || results[0].Worker != 0 {
+			t.Fatalf("want only worker 0's result, got %+v", results)
+		}
+	})
+}
+
+func TestExpiredContextAttributedToCaller(t *testing.T) {
+	// Regression: a context whose deadline had ALREADY passed used to
+	// return errCallTimeout, so callers could not distinguish their own
+	// expiry from a slow worker. Both transports must attribute it to the
+	// context — and must not put a doomed call on the wire at all (the
+	// legacy path used to send it and pin the pending entry forever).
+	t.Run("netrpc", func(t *testing.T) {
+		_, exec := startCluster(t, transports[0], 1, nil)
+		e := exec.(*RPCExecutor)
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		err := e.call(ctx, 0, &ComputeArgs{Key: "fwd", Input: []field.Elem{1}}, &ComputeReply{})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("call error = %v, want the context's deadline error", err)
+		}
+	})
+	t.Run("frames", func(t *testing.T) {
+		_, exec := startCluster(t, transports[1], 1, nil)
+		e := exec.(*FrameExecutor)
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := e.conns[0].call(ctx, 0, 1, 0, encodeRequestTail("fwd", 1, 0, false, []field.Elem{1}))
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("call error = %v, want the context's deadline error", err)
+		}
+		if n := e.pendingCalls(); n != 0 {
+			t.Fatalf("%d pending entries after an expired-deadline call that never went out", n)
+		}
+	})
 }
 
 func TestAVCCCancelMidRoundSurfacesContextError(t *testing.T) {
 	// End to end through the master: cancelling the caller's context while
 	// every worker is wedged must surface ctx's error from RunRound, fast.
-	rng := rand.New(rand.NewSource(209))
-	workers, exec := startCluster(t, 12)
-	x := fieldmat.Rand(f, rng, 36, 10)
-	master, err := scheme.New("avcc", f, scheme.NewConfig(
-		scheme.WithCoding(12, 9),
-		scheme.WithBudgets(1, 2, 0),
-		scheme.WithSeed(44),
-	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, w := range master.Workers() {
-		workers[i].Shards["fwd"] = w.Shards["fwd"]
-		workers[i].Behavior = stall{Delay: 20 * time.Second}
-	}
-	master.SetExecutor(exec)
-	exec.Timeout = 30 * time.Second
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(209))
+		x := fieldmat.Rand(f, rng, 36, 10)
+		master, err := scheme.New("avcc", f, scheme.NewConfig(
+			scheme.WithCoding(12, 9),
+			scheme.WithBudgets(1, 2, 0),
+			scheme.WithSeed(44),
+		), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, exec := startCluster(t, tr, 12, func(workers []*cluster.Worker) {
+			for i, w := range master.Workers() {
+				workers[i].Shards["fwd"] = w.Shards["fwd"]
+				workers[i].Behavior = stall{Delay: 20 * time.Second}
+			}
+		})
+		master.SetExecutor(exec)
+		exec.setTimeout(30 * time.Second)
 
-	// Explicit cancellation (not a deadline): once cancel() ran, ctx.Err()
-	// is set before any call can unblock on ctx.Done, so the master must
-	// deterministically report the cancellation.
-	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(100 * time.Millisecond)
-		cancel()
-	}()
-	start := time.Now()
-	_, err = master.RunRound(ctx, "fwd", f.RandVec(rng, 10), 0)
-	if elapsed := time.Since(start); elapsed > 3*time.Second {
-		t.Fatalf("cancelled master round took %v", elapsed)
-	}
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("master round error = %v, want the context's cancellation error", err)
-	}
+		// Explicit cancellation (not a deadline): once cancel() ran,
+		// ctx.Err() is set before any call can unblock on ctx.Done, so the
+		// master must deterministically report the cancellation.
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(100 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err = master.RunRound(ctx, "fwd", f.RandVec(rng, 10), 0)
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("cancelled master round took %v", elapsed)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("master round error = %v, want the context's cancellation error", err)
+		}
+	})
 }
 
 func TestRPCBatchedRoundMatchesSequential(t *testing.T) {
-	// The Batch RPC field must round-trip: a batched call returns the
-	// packed per-vector products, byte-identical to per-vector calls.
-	rng := rand.New(rand.NewSource(210))
-	workers, exec := startCluster(t, 2)
-	shards := make([]*fieldmat.Matrix, 2)
-	for i, w := range workers {
-		shards[i] = fieldmat.Rand(f, rng, 4, 6)
-		w.Shards["fwd"] = shards[i]
-	}
-	const batch = 3
-	inputs := make([][]field.Elem, batch)
-	var packed []field.Elem
-	for c := range inputs {
-		inputs[c] = f.RandVec(rng, 6)
-		packed = append(packed, inputs[c]...)
-	}
-	results := exec.RunRound(context.Background(), "fwd", packed, batch, 0, []int{0, 1})
-	if len(results) != 2 {
-		t.Fatalf("got %d results", len(results))
-	}
-	for _, r := range results {
-		if r.Err != nil {
-			t.Fatal(r.Err)
+	// The batch field must round-trip: a batched call returns the packed
+	// per-vector products, byte-identical to per-vector calls.
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(210))
+		shards := make([]*fieldmat.Matrix, 2)
+		_, exec := startCluster(t, tr, 2, func(workers []*cluster.Worker) {
+			for i, w := range workers {
+				shards[i] = fieldmat.Rand(f, rng, 4, 6)
+				w.Shards["fwd"] = shards[i]
+			}
+		})
+		const batch = 3
+		inputs := make([][]field.Elem, batch)
+		var packed []field.Elem
+		for c := range inputs {
+			inputs[c] = f.RandVec(rng, 6)
+			packed = append(packed, inputs[c]...)
 		}
-		var want []field.Elem
-		for _, in := range inputs {
-			want = append(want, fieldmat.MatVec(f, shards[r.Worker], in)...)
+		results := exec.RunRound(context.Background(), "fwd", packed, batch, 0, []int{0, 1})
+		if len(results) != 2 {
+			t.Fatalf("got %d results", len(results))
 		}
-		if !field.EqualVec(r.Output, want) {
-			t.Fatalf("worker %d batched RPC output differs from sequential products", r.Worker)
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			var want []field.Elem
+			for _, in := range inputs {
+				want = append(want, fieldmat.MatVec(f, shards[r.Worker], in)...)
+			}
+			if !field.EqualVec(r.Output, want) {
+				t.Fatalf("worker %d batched output differs from sequential products", r.Worker)
+			}
 		}
-	}
+	})
 }
 
 func TestAVCCMasterOverRealTCP(t *testing.T) {
 	// Full integration: AVCC master encodes, remote workers compute over
 	// TCP (one of them Byzantine), master verifies and decodes correctly.
-	rng := rand.New(rand.NewSource(203))
-	workers, exec := startCluster(t, 12)
-	workers[5].Behavior = attack.ReverseValue{C: 1}
-
-	x := fieldmat.Rand(f, rng, 36, 10)
-	data := map[string]*fieldmat.Matrix{"fwd": x}
-	master, err := scheme.New("avcc", f, scheme.NewConfig(
-		scheme.WithCoding(12, 9),
-		scheme.WithBudgets(1, 2, 0),
-		scheme.WithSeed(42),
-	), data, nil, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Mirror the master's shard assignment onto the remote workers: the
-	// master encoded into its own in-process worker objects; copy shards.
-	for i, w := range master.Workers() {
-		workers[i].Shards["fwd"] = w.Shards["fwd"]
-	}
-	master.SetExecutor(exec)
-
-	w := f.RandVec(rng, 10)
-	want := fieldmat.MatVec(f, x, w)
-	for iter := 0; iter < 3; iter++ {
-		out, err := master.RunRound(context.Background(), "fwd", w, iter)
+	forEachTransport(t, func(t *testing.T, tr transport) {
+		rng := rand.New(rand.NewSource(203))
+		x := fieldmat.Rand(f, rng, 36, 10)
+		data := map[string]*fieldmat.Matrix{"fwd": x}
+		master, err := scheme.New("avcc", f, scheme.NewConfig(
+			scheme.WithCoding(12, 9),
+			scheme.WithBudgets(1, 2, 0),
+			scheme.WithSeed(42),
+		), data, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !field.EqualVec(out.Decoded, want) {
-			t.Fatalf("iter %d: decode over real TCP wrong", iter)
+		// Mirror the master's shard assignment onto the remote workers: the
+		// master encoded into its own in-process worker objects; copy shards.
+		_, exec := startCluster(t, tr, 12, func(workers []*cluster.Worker) {
+			for i, w := range master.Workers() {
+				workers[i].Shards["fwd"] = w.Shards["fwd"]
+			}
+			workers[5].Behavior = attack.ReverseValue{C: 1}
+		})
+		master.SetExecutor(exec)
+
+		w := f.RandVec(rng, 10)
+		want := fieldmat.MatVec(f, x, w)
+		for iter := 0; iter < 3; iter++ {
+			out, err := master.RunRound(context.Background(), "fwd", w, iter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !field.EqualVec(out.Decoded, want) {
+				t.Fatalf("iter %d: decode over real TCP wrong", iter)
+			}
+			// The Byzantine may arrive after the threshold (real arrival
+			// order is nondeterministic), in which case it is simply unused;
+			// if it WAS processed it must have been rejected. Either way it
+			// must never contribute to the decode.
+			for _, id := range out.Used {
+				if id == 5 {
+					t.Fatalf("iter %d: Byzantine worker used in decode", iter)
+				}
+			}
 		}
-		// The Byzantine may arrive after the threshold (real arrival order
-		// is nondeterministic), in which case it is simply unused; if it
-		// WAS processed it must have been rejected. Either way it must
-		// never contribute to the decode.
-		for _, id := range out.Used {
-			if id == 5 {
-				t.Fatalf("iter %d: Byzantine worker used in decode", iter)
+	})
+}
+
+// TestFrameServerHostsManyWorkers: one framed server can colocate several
+// workers (tests and the demo binary do), dispatching by the request's
+// worker ID; asking for a worker it does not host is an application error,
+// not an erasure.
+func TestFrameServerHostsManyWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	w0, w1 := cluster.NewWorker(0), cluster.NewWorker(1)
+	shards := []*fieldmat.Matrix{fieldmat.Rand(f, rng, 3, 4), fieldmat.Rand(f, rng, 3, 4)}
+	w0.Shards["fwd"], w1.Shards["fwd"] = shards[0], shards[1]
+	srv, err := ServeFrames("127.0.0.1:0", f, w0, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	exec, err := DialFrames([]string{srv.Addr, srv.Addr, srv.Addr}, []int{0, 1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exec.Close)
+	in := f.RandVec(rng, 4)
+	results := exec.RunRound(context.Background(), "fwd", in, 1, 0, []int{0, 1, 9})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		switch r.Worker {
+		case 9:
+			var we WorkerError
+			if !errors.As(r.Err, &we) {
+				t.Fatalf("unhosted worker: err = %v, want a WorkerError", r.Err)
+			}
+		default:
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			if !field.EqualVec(r.Output, fieldmat.MatVec(f, shards[r.Worker], in)) {
+				t.Fatalf("worker %d computed the wrong product", r.Worker)
 			}
 		}
 	}

@@ -450,7 +450,16 @@ func (s *Service) runBatch(batch []*request) {
 	s.mu.Unlock()
 
 	out, err := s.master.RunRoundBatch(context.Background(), batch[0].key, inputs, iter)
-	_, recoded := s.master.FinishIteration(iter)
+	var recoded bool
+	if err == nil {
+		// Adapt only on rounds that actually completed. A failed round's
+		// observations are partial — a cancellation or transport collapse
+		// looks like "every worker straggled" — and feeding them to the
+		// adaptive controller used to shrink K (or quarantine workers) on
+		// evidence the round never produced. The failure is reported to the
+		// callers; the coding geometry stays as it was.
+		_, recoded = s.master.FinishIteration(iter)
+	}
 
 	s.mu.Lock()
 	s.rounds++

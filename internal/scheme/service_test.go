@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
@@ -18,10 +19,11 @@ import (
 // entry resolves to its own input, rounds can be made to block, and batch
 // sizes are recorded.
 type echoMaster struct {
-	mu      sync.Mutex
-	batches []int
-	gate    chan struct{} // non-nil: every round waits for one receive
-	started chan struct{} // non-nil: signalled when a round begins
+	mu       sync.Mutex
+	batches  []int
+	finishes int           // FinishIteration calls observed
+	gate     chan struct{} // non-nil: every round waits for one receive
+	started  chan struct{} // non-nil: signalled when a round begins
 }
 
 func (m *echoMaster) Name() string { return "echo" }
@@ -52,14 +54,25 @@ func (m *echoMaster) RunRoundBatch(_ context.Context, key string, inputs [][]fie
 	return out, nil
 }
 
-func (m *echoMaster) FinishIteration(int) (float64, bool) { return 0, false }
-func (m *echoMaster) SetExecutor(cluster.Executor)        {}
-func (m *echoMaster) Workers() []*cluster.Worker          { return nil }
+func (m *echoMaster) FinishIteration(int) (float64, bool) {
+	m.mu.Lock()
+	m.finishes++
+	m.mu.Unlock()
+	return 0, false
+}
+func (m *echoMaster) SetExecutor(cluster.Executor) {}
+func (m *echoMaster) Workers() []*cluster.Worker   { return nil }
 
 func (m *echoMaster) batchSizes() []int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]int(nil), m.batches...)
+}
+
+func (m *echoMaster) finishCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.finishes
 }
 
 // TestServiceServesCorrectDecodes drives a real AVCC master through the
@@ -312,6 +325,92 @@ func TestServiceCountsRecodes(t *testing.T) {
 	svc.Close(context.Background())
 	if got := svc.Stats().Recodes; got != 1 {
 		t.Fatalf("stats recorded %d recodes, want 1", got)
+	}
+}
+
+// TestServiceFailedRoundSkipsAdaptation is the regression for the serving
+// loop feeding failed rounds to the adaptive controller: FinishIteration
+// used to run unconditionally after every batch, failure included, so a
+// transport collapse adapted the coding on observations the round never
+// produced. A failed round must leave the controller untouched; a
+// successful one still drives it.
+func TestServiceFailedRoundSkipsAdaptation(t *testing.T) {
+	em := &echoMaster{}
+	svc := NewService(em, ServiceConfig{MaxBatch: 4, MaxLinger: time.Millisecond})
+	defer svc.Close(context.Background())
+
+	fu := svc.Submit(context.Background(), "fail", []field.Elem{1})
+	if _, err := fu.Wait(context.Background()); err == nil {
+		t.Fatal("failed round resolved without error")
+	}
+	if n := em.finishCount(); n != 0 {
+		t.Fatalf("FinishIteration ran %d times for a failed round", n)
+	}
+	ok := svc.Submit(context.Background(), "k", []field.Elem{2})
+	if _, err := ok.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := em.finishCount(); n != 1 {
+		t.Fatalf("FinishIteration ran %d times after one successful round, want 1", n)
+	}
+}
+
+// TestServiceFailedRoundDoesNotShrinkCoding drives the same regression
+// through a real AVCC master: a round that fails because Byzantines exceed
+// the verification budget must not shrink K or quarantine anyone — the
+// round produced no decode, so there is nothing to adapt on — and the
+// stranded observations must not poison the NEXT iteration's adaptation
+// either.
+func TestServiceFailedRoundDoesNotShrinkCoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x := fieldmat.Rand(f, rng, 36, 10)
+	m, err := New("avcc", f, NewConfig(WithCoding(12, 9), WithBudgets(1, 2, 0), WithSeed(33)),
+		map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := m.(Adaptive)
+	n0, k0 := ad.Coding()
+	active0 := len(ad.ActiveWorkers())
+
+	// Half the fleet lies: far beyond the M=2 budget, so verification finds
+	// fewer than threshold-many honest results and the round errors out.
+	lying := m.Workers()[:6]
+	for _, w := range lying {
+		w.Behavior = attack.Constant{V: 3}
+	}
+	svc := NewService(m, ServiceConfig{MaxBatch: 1})
+	defer svc.Close(context.Background())
+
+	in := f.RandVec(rng, 10)
+	if _, err := svc.Submit(context.Background(), "fwd", in).Wait(context.Background()); err == nil {
+		t.Fatal("a round with 6 Byzantines under an M=2 budget must fail")
+	}
+	if n, k := ad.Coding(); n != n0 || k != k0 {
+		t.Fatalf("failed round re-coded (%d,%d) → (%d,%d)", n0, k0, n, k)
+	}
+	if got := len(ad.ActiveWorkers()); got != active0 {
+		t.Fatalf("failed round quarantined workers: %d active, want %d", got, active0)
+	}
+
+	// The fleet heals; the next round must decode exactly — and the failed
+	// round's stranded Byzantine observations must not get the now-honest
+	// workers quarantined retroactively.
+	for _, w := range lying {
+		w.Behavior = attack.Honest{}
+	}
+	out, err := svc.Submit(context.Background(), "fwd", in).Wait(context.Background())
+	if err != nil {
+		t.Fatalf("healed round failed: %v", err)
+	}
+	if !field.EqualVec(out.Decoded, fieldmat.MatVec(f, x, in)) {
+		t.Fatal("healed round decoded the wrong product")
+	}
+	if n, k := ad.Coding(); n != n0 || k != k0 {
+		t.Fatalf("stale observations re-coded (%d,%d) → (%d,%d)", n0, k0, n, k)
+	}
+	if got := len(ad.ActiveWorkers()); got != active0 {
+		t.Fatalf("stale observations quarantined workers: %d active, want %d", got, active0)
 	}
 }
 
