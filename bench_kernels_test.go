@@ -133,10 +133,19 @@ func mdsDecodeSeedRef(q uint64, gen *fieldmat.Matrix, workers []int, results [][
 type kernelBenchRecord struct {
 	Kernel  string `json:"kernel"`
 	Variant string `json:"variant"` // "lazy" (production) or "ref" (seed)
+	// Modulus names the prime field the cell ran on: "paper" (q = 2²⁵−39,
+	// Lagrange codecs) or "ntt" (q = 11·2²¹+1, the subgroup fast path in
+	// internal/mds). Every cell exists for "paper"; the MDS codec cells run
+	// under both so the artifact tracks the two encode pipelines side by
+	// side.
+	Modulus string `json:"modulus"`
 	Dims    string `json:"dims"`
 	NsPerOp int64  `json:"ns_per_op"`
 	// AllocsPerOp is measured with testing.AllocsPerRun in steady state
-	// (pools warm); the MatMul/MatVec contract is exactly 0.
+	// (pools warm); the MatMul/MatVec/MDSEncode/MDSDecode contract is
+	// exactly 0 (the MDS cells measure the Into forms — the seed's
+	// EncodeMatrix allocated 44 times per op in SplitRows copies and
+	// per-shard matrices).
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// SpeedupVsRef = ref ns/op ÷ lazy ns/op, set on "lazy" rows when both
 	// variants ran.
@@ -145,25 +154,83 @@ type kernelBenchRecord struct {
 
 // kernelCell runs fn as a sub-benchmark and records ns/op, allocs/op, and
 // the iteration count (the artifact-write guard below).
-func kernelCell(b *testing.B, records map[string]*kernelBenchRecord, iters map[string]int, kernel, variant, dims string, fn func()) {
+func kernelCell(b *testing.B, records map[string]*kernelBenchRecord, iters map[string]int, kernel, variant, modulus, dims string, fn func()) {
 	b.Helper()
-	b.Run(kernel+"/"+variant, func(b *testing.B) {
+	key := kernel + "/" + variant + "/" + modulus
+	b.Run(key, func(b *testing.B) {
 		fn() // warm pools and caches outside the timer
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fn()
 		}
 		b.StopTimer()
-		iters[kernel+"/"+variant] = b.N
-		records[kernel+"/"+variant] = &kernelBenchRecord{
+		iters[key] = b.N
+		records[key] = &kernelBenchRecord{
 			Kernel:  kernel,
 			Variant: variant,
+			Modulus: modulus,
 			Dims:    dims,
 			NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
 			// AllocsPerRun briefly pins GOMAXPROCS to 1; the pools are
 			// already started at full width by the warm call above.
 			AllocsPerOp: testing.AllocsPerRun(3, fn),
 		}
+	})
+}
+
+// mdsCells runs the MDS codec cells at the paper's (12,9) GISETTE shape on
+// the given field. The encode cells encode a 6003×1000 matrix into
+// caller-owned shards (EncodeMatrixInto: zero steady-state allocations on
+// both layouts); the decode cells recover the 9 blocks of a dim-667 round
+// from a non-systematic survivor set through the warmed plan cache. On the
+// NTT modulus the code MUST take the fast path — a silent fallback would
+// record Lagrange numbers under the "ntt" label and poison the artifact.
+func mdsCells(b *testing.B, records map[string]*kernelBenchRecord, iters map[string]int, f *field.Field, modulus string, rng *rand.Rand) {
+	b.Helper()
+	code, err := mds.New(f, 12, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if wantFast := modulus == "ntt"; code.NTTAccelerated() != wantFast {
+		b.Fatalf("%s modulus: NTTAccelerated = %v, want %v — dispatch guard", modulus, !wantFast, wantFast)
+	}
+	q := f.Q()
+	encData := fieldmat.Rand(f, rng, 6003, 1000)
+	shards := make([]*fieldmat.Matrix, 12)
+	kernelCell(b, records, iters, "MDSEncode", "lazy", modulus, "(12,9) 6003x1000", func() {
+		if err := code.EncodeMatrixInto(shards, encData); err != nil {
+			b.Fatal(err)
+		}
+	})
+	gen := code.Generator()
+	blocks := fieldmat.SplitRows(encData, 9)
+	kernelCell(b, records, iters, "MDSEncode", "ref", modulus, "(12,9) 6003x1000", func() {
+		for i := 0; i < 12; i++ {
+			sh := fieldmat.NewMatrix(667, 1000)
+			for j := 0; j < 9; j++ {
+				if coef := gen.At(j, i); coef != 0 {
+					axpySeedRef(q, sh.Data, coef, blocks[j].Data)
+				}
+			}
+		}
+	})
+
+	// Decode timing is value-independent; random result vectors of the
+	// round-1 shape (667 per block) measure exactly what decoded worker
+	// outputs would.
+	workers := []int{0, 2, 3, 5, 6, 7, 9, 10, 11} // a non-systematic survivor set
+	results := make([][]field.Elem, len(workers))
+	for r := range results {
+		results[r] = f.RandVec(rng, 667)
+	}
+	decoded := make([]field.Elem, 9*667)
+	kernelCell(b, records, iters, "MDSDecode", "lazy", modulus, "(12,9) dim=667", func() {
+		if err := code.DecodeConcatInto(decoded, workers, results); err != nil {
+			b.Fatal(err)
+		}
+	})
+	kernelCell(b, records, iters, "MDSDecode", "ref", modulus, "(12,9) dim=667", func() {
+		_ = mdsDecodeSeedRef(q, gen, workers, results)
 	})
 }
 
@@ -186,83 +253,47 @@ func BenchmarkKernels(b *testing.B) {
 	a := f.RandVec(rng, d)
 	x := f.RandVec(rng, d)
 	var dotSink field.Elem
-	kernelCell(b, records, iters, "Dot", "lazy", "d=5000", func() { dotSink = f.Dot(a, x) })
-	kernelCell(b, records, iters, "Dot", "ref", "d=5000", func() { dotSink = dotSeedRef(q, a, x) })
+	kernelCell(b, records, iters, "Dot", "lazy", "paper", "d=5000", func() { dotSink = f.Dot(a, x) })
+	kernelCell(b, records, iters, "Dot", "ref", "paper", "d=5000", func() { dotSink = dotSeedRef(q, a, x) })
 
 	// AXPY: the encoder's shard-combination step at d = 5000.
 	dst := f.RandVec(rng, d)
 	cf := f.RandNonZero(rng)
-	kernelCell(b, records, iters, "AXPY", "lazy", "d=5000", func() { f.AXPY(dst, cf, a) })
-	kernelCell(b, records, iters, "AXPY", "ref", "d=5000", func() { axpySeedRef(q, dst, cf, a) })
+	kernelCell(b, records, iters, "AXPY", "lazy", "paper", "d=5000", func() { f.AXPY(dst, cf, a) })
+	kernelCell(b, records, iters, "AXPY", "ref", "paper", "d=5000", func() { axpySeedRef(q, dst, cf, a) })
 
 	// MatVec: one worker's round-1 product X̃_i·w on a 667×5000 shard.
 	shard := fieldmat.Rand(f, rng, shardRows, d)
 	y := make([]field.Elem, shardRows)
-	kernelCell(b, records, iters, "MatVec", "lazy", "shard 667x5000", func() { fieldmat.MatVecInto(f, y, shard, x) })
-	kernelCell(b, records, iters, "MatVec", "ref", "shard 667x5000", func() { matVecSeedRef(q, shard, x, y) })
+	kernelCell(b, records, iters, "MatVec", "lazy", "paper", "shard 667x5000", func() { fieldmat.MatVecInto(f, y, shard, x) })
+	kernelCell(b, records, iters, "MatVec", "ref", "paper", "shard 667x5000", func() { matVecSeedRef(q, shard, x, y) })
 
 	// MatMul: a shard times a 64-wide weight batch.
 	bm := fieldmat.Rand(f, rng, d, mulCols)
 	cm := fieldmat.NewMatrix(shardRows, mulCols)
-	kernelCell(b, records, iters, "MatMul", "lazy", "667x5000 x 5000x64", func() { fieldmat.MatMulInto(f, cm, shard, bm) })
-	kernelCell(b, records, iters, "MatMul", "ref", "667x5000 x 5000x64", func() { matMulSeedRef(q, shard, bm, cm) })
+	kernelCell(b, records, iters, "MatMul", "lazy", "paper", "667x5000 x 5000x64", func() { fieldmat.MatMulInto(f, cm, shard, bm) })
+	kernelCell(b, records, iters, "MatMul", "ref", "paper", "667x5000 x 5000x64", func() { matMulSeedRef(q, shard, bm, cm) })
 
-	// MDS encode/decode at the paper's (12,9); decode vectors are the
-	// round-1 result shape (667 per block).
-	code, err := mds.New(f, 12, 9)
-	if err != nil {
-		b.Fatal(err)
-	}
-	encData := fieldmat.Rand(f, rng, 6003, 1000)
-	kernelCell(b, records, iters, "MDSEncode", "lazy", "(12,9) 6003x1000", func() {
-		if _, err := code.EncodeMatrix(encData); err != nil {
-			b.Fatal(err)
-		}
-	})
-	gen := code.Generator()
-	blocks := fieldmat.SplitRows(encData, 9)
-	kernelCell(b, records, iters, "MDSEncode", "ref", "(12,9) 6003x1000", func() {
-		for i := 0; i < 12; i++ {
-			sh := fieldmat.NewMatrix(667, 1000)
-			for j := 0; j < 9; j++ {
-				if coef := gen.At(j, i); coef != 0 {
-					axpySeedRef(q, sh.Data, coef, blocks[j].Data)
-				}
-			}
-		}
-	})
-
-	w := f.RandVec(rng, d)
-	shards, err := code.EncodeMatrix(fieldmat.Rand(f, rng, 6003, d))
-	if err != nil {
-		b.Fatal(err)
-	}
-	workers := []int{0, 2, 3, 5, 6, 7, 9, 10, 11} // a non-systematic survivor set
-	results := make([][]field.Elem, len(workers))
-	for r, id := range workers {
-		results[r] = fieldmat.MatVec(f, shards[id], w)
-	}
-	kernelCell(b, records, iters, "MDSDecode", "lazy", "(12,9) dim=667", func() {
-		if _, err := code.DecodeConcat(workers, results); err != nil {
-			b.Fatal(err)
-		}
-	})
-	kernelCell(b, records, iters, "MDSDecode", "ref", "(12,9) dim=667", func() {
-		_ = mdsDecodeSeedRef(q, gen, workers, results)
-	})
+	// MDS encode/decode at the paper's (12,9), under BOTH moduli: "paper"
+	// exercises the Lagrange layout, "ntt" the subgroup fast path. The lazy
+	// cells measure the zero-allocation Into forms (the steady-state shape
+	// of a round loop); the ref cells are the seed's per-element-division
+	// arithmetic on the same generator.
+	mdsCells(b, records, iters, field.Default(), "paper", rng)
+	mdsCells(b, records, iters, field.NTTFriendly(), "ntt", rng)
 
 	// Freivalds: one verification of a 667×5000 shard claim (a length-5000
 	// and a length-667 inner product).
 	key := verify.NewKey(f, verify.Seeded(rng), shard)
 	claim := fieldmat.MatVec(f, shard, x)
-	kernelCell(b, records, iters, "Freivalds", "lazy", "shard 667x5000", func() {
+	kernelCell(b, records, iters, "Freivalds", "lazy", "paper", "shard 667x5000", func() {
 		if !key.Check(x, claim) {
 			b.Fatal("honest claim rejected")
 		}
 	})
 	r2 := f.RandVec(rng, shardRows)
 	s2 := fieldmat.VecMat(f, r2, shard)
-	kernelCell(b, records, iters, "Freivalds", "ref", "shard 667x5000", func() {
+	kernelCell(b, records, iters, "Freivalds", "ref", "paper", "shard 667x5000", func() {
 		if dotSeedRef(q, s2, x) != dotSeedRef(q, r2, claim) {
 			b.Fatal("honest claim rejected by reference check")
 		}
@@ -274,16 +305,22 @@ func BenchmarkKernels(b *testing.B) {
 	// meaningful when both variants ran in this process, and single-iteration
 	// cells (the CI `-benchtime 1x` smoke) are too noisy to record — refresh
 	// with `-benchtime 2s` as documented in DESIGN.md §7.
-	kernels := []string{"Dot", "AXPY", "MatVec", "MatMul", "MDSEncode", "MDSDecode", "Freivalds"}
-	out := make([]kernelBenchRecord, 0, 2*len(kernels))
-	for _, k := range kernels {
-		lazy, ref := records[k+"/lazy"], records[k+"/ref"]
+	cells := []struct{ kernel, modulus string }{
+		{"Dot", "paper"}, {"AXPY", "paper"}, {"MatVec", "paper"}, {"MatMul", "paper"},
+		{"MDSEncode", "paper"}, {"MDSDecode", "paper"},
+		{"MDSEncode", "ntt"}, {"MDSDecode", "ntt"},
+		{"Freivalds", "paper"},
+	}
+	out := make([]kernelBenchRecord, 0, 2*len(cells))
+	for _, c := range cells {
+		id := c.kernel + "/" + c.modulus
+		lazy, ref := records[c.kernel+"/lazy/"+c.modulus], records[c.kernel+"/ref/"+c.modulus]
 		if lazy == nil || ref == nil {
-			b.Logf("skipping BENCH_kernels.json: %s incomplete", k)
+			b.Logf("skipping BENCH_kernels.json: %s incomplete", id)
 			return
 		}
-		if iters[k+"/lazy"] < 2 || iters[k+"/ref"] < 2 {
-			b.Logf("skipping BENCH_kernels.json: %s ran a single iteration (smoke run)", k)
+		if iters[c.kernel+"/lazy/"+c.modulus] < 2 || iters[c.kernel+"/ref/"+c.modulus] < 2 {
+			b.Logf("skipping BENCH_kernels.json: %s ran a single iteration (smoke run)", id)
 			return
 		}
 		if lazy.NsPerOp > 0 {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/field"
 	"repro/internal/metrics"
 )
 
@@ -34,7 +35,14 @@ func main() {
 	trainN := flag.Int("train-n", 0, "override training sample count m")
 	features := flag.Int("features", 0, "override feature count d")
 	seed := flag.Int64("seed", 0, "override experiment seed")
+	fieldName := flag.String("field", "paper", "prime field: paper | ntt | a decimal modulus (ntt unlocks the O(N log N) encode path)")
 	flag.Parse()
+
+	f, err := field.Select(*fieldName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -61,6 +69,7 @@ func main() {
 		sc.Seed = *seed
 		sc.Dataset.Seed = *seed
 	}
+	sc.Modulus = f.Q()
 
 	ids := []string{*exp}
 	if *exp == "all" {

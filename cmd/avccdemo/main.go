@@ -32,18 +32,22 @@ func main() {
 	byzantine := flag.Int("byzantine", 5, "worker id to corrupt (-1 for none)")
 	attackName := flag.String("attack", "reverse", "reverse | constant")
 	transport := flag.String("transport", "frames", "data-plane transport: frames | netrpc")
+	fieldName := flag.String("field", "paper", "prime field: paper | ntt | a decimal modulus (ntt unlocks the O(N log N) encode path)")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	if err := run(*rows, *cols, *rounds, *byzantine, *attackName, *transport, *seed); err != nil {
+	if err := run(*rows, *cols, *rounds, *byzantine, *attackName, *transport, *fieldName, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols, rounds, byzantine int, attackName, transport string, seed int64) error {
+func run(rows, cols, rounds, byzantine int, attackName, transport, fieldName string, seed int64) error {
 	const n, k = 12, 9
-	f := field.Default()
+	f, err := field.Select(fieldName)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(seed))
 
 	if transport != "frames" && transport != "netrpc" {
@@ -58,6 +62,7 @@ func run(rows, cols, rounds, byzantine int, attackName, transport string, seed i
 		scheme.WithCoding(n, k),
 		scheme.WithBudgets(1, 2, 0),
 		scheme.WithSeed(seed),
+		scheme.WithModulus(f.Q()),
 	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 	if err != nil {
 		return err

@@ -28,6 +28,16 @@ type Scale struct {
 	Train   logreg.TrainConfig
 	Sim     simnet.Config
 	Seed    int64
+	// Modulus selects the prime field every system runs on; 0 means the
+	// paper's default q = 2²⁵−39. field.QNTT turns on the NTT-accelerated
+	// encode path (cmd flag -field ntt).
+	Modulus uint64
+}
+
+// Field resolves sc.Modulus to the field instance all systems of a run
+// share.
+func (sc Scale) Field() (*field.Field, error) {
+	return scheme.FieldFor(scheme.Config{Modulus: sc.Modulus})
 }
 
 // CI returns a laptop-scale configuration: the full 12-worker topology and
@@ -126,7 +136,10 @@ func mkEnvironment(attackName string, s, m int) (*environment, error) {
 
 // systems builds the three masters over one dataset and one environment.
 func systems(sc Scale, env *environment) (map[string]cluster.Master, *dataset.Data, error) {
-	f := field.Default()
+	f, err := sc.Field()
+	if err != nil {
+		return nil, nil, err
+	}
 	ds, err := dataset.Generate(sc.Dataset)
 	if err != nil {
 		return nil, nil, err
@@ -141,6 +154,7 @@ func systems(sc Scale, env *environment) (map[string]cluster.Master, *dataset.Da
 		scheme.WithBudgets(env.s, env.m, 0),
 		scheme.WithSim(sc.Sim),
 		scheme.WithSeed(sc.Seed),
+		scheme.WithModulus(sc.Modulus),
 		// The paper's stated deployment strategy: encoded datasets and
 		// verification keys for alternative (N,K) configurations are
 		// generated offline, so a re-code pays only redistribution.
@@ -154,6 +168,7 @@ func systems(sc Scale, env *environment) (map[string]cluster.Master, *dataset.Da
 		scheme.WithBudgets(1, 1, 0), // the paper's fixed LCC design point
 		scheme.WithSim(sc.Sim),
 		scheme.WithSeed(sc.Seed),
+		scheme.WithModulus(sc.Modulus),
 	), mk(), env.behaviors(topologyN), env.stragglers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: lcc: %w", err)
@@ -162,6 +177,7 @@ func systems(sc Scale, env *environment) (map[string]cluster.Master, *dataset.Da
 		scheme.WithCoding(topologyN, topologyK),
 		scheme.WithSim(sc.Sim),
 		scheme.WithSeed(sc.Seed),
+		scheme.WithModulus(sc.Modulus),
 	), mk(), env.behaviors(topologyK), env.stragglers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: uncoded: %w", err)
@@ -171,7 +187,10 @@ func systems(sc Scale, env *environment) (map[string]cluster.Master, *dataset.Da
 
 // trainAll trains each system on the same data and returns its series.
 func trainAll(sc Scale, masters map[string]cluster.Master, ds *dataset.Data) (map[string]*metrics.Series, error) {
-	f := field.Default()
+	f, err := sc.Field()
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*metrics.Series, len(masters))
 	for name, m := range masters {
 		series, _, err := logreg.TrainDistributed(context.Background(), f, m, ds, sc.Train)

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
-	"repro/internal/field"
 	"repro/internal/fieldmat"
 	"repro/internal/logreg"
 	"repro/internal/metrics"
@@ -32,7 +31,10 @@ type Fig5Result struct {
 
 // RunFig5 regenerates Fig. 5.
 func RunFig5(sc Scale) (*Fig5Result, error) {
-	f := field.Default()
+	f, err := sc.Field()
+	if err != nil {
+		return nil, err
+	}
 	ds, err := dataset.Generate(sc.Dataset)
 	if err != nil {
 		return nil, err
@@ -66,6 +68,7 @@ func RunFig5(sc Scale) (*Fig5Result, error) {
 			scheme.WithBudgets(2, 1, 0),
 			scheme.WithSim(sc.Sim),
 			scheme.WithSeed(sc.Seed),
+			scheme.WithModulus(sc.Modulus),
 			scheme.WithPregeneratedCodings(true),
 		), mkData(), behaviors(), stragglers)
 		if err != nil {

@@ -54,7 +54,10 @@ func scenarioTopology(name string) (n, k int) {
 // RunScenarioMatrix runs every registered scheme through every scenario
 // preset for the given number of rounds, deterministically from sc.Seed.
 func RunScenarioMatrix(sc Scale, rounds int) ([]ScenarioRow, error) {
-	f := field.Default()
+	f, err := sc.Field()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	matvecX := fieldmat.Rand(f, rng, sc.Dataset.TrainN, sc.Dataset.Features)
 	gramX := fieldmat.Rand(f, rng, 64, 48)
@@ -89,6 +92,7 @@ func runScenarioCell(f *field.Field, sc Scale, name, profile string, rounds int,
 		scheme.WithBudgets(1, 1, 0),
 		scheme.WithSim(sc.Sim),
 		scheme.WithSeed(sc.Seed),
+		scheme.WithModulus(sc.Modulus),
 		scheme.WithPregeneratedCodings(true),
 		scheme.WithScenario(scn),
 	), map[string]*fieldmat.Matrix{key: x}, nil, nil)

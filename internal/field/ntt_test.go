@@ -1,0 +1,190 @@
+package field
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference: out[i] = Σ_j a[j]·ω^(ij).
+func naiveDFT(f *Field, omega Elem, a []Elem) []Elem {
+	out := make([]Elem, len(a))
+	for i := range out {
+		var acc Elem
+		for j, aj := range a {
+			acc = f.Add(acc, f.Mul(aj, f.Exp(omega, uint64(i*j))))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func TestQNTTProperties(t *testing.T) {
+	f, err := New(QNTT)
+	if err != nil {
+		t.Fatalf("QNTT rejected: %v", err)
+	}
+	if got := f.TwoAdicity(); got != 21 {
+		t.Fatalf("QNTT 2-adicity = %d, want 21", got)
+	}
+	// The companion modulus must keep the lazy batch useful: at least the
+	// d = 5000 worst-case inner product the paper sized its field for.
+	if f.LazyBatch() < 5000 {
+		t.Fatalf("QNTT lazy batch %d is below the d = 5000 bound", f.LazyBatch())
+	}
+	if got := Default().TwoAdicity(); got != 3 {
+		t.Fatalf("QDefault 2-adicity = %d, want 3 (2^25-40 = 2^3·7·599099)", got)
+	}
+}
+
+// TestNewNTTAcceptReject enumerates the validation matrix: sizes within the
+// modulus' 2-adicity are accepted, oversized or non-power-of-two sizes are
+// rejected with a typed *NTTSizeError carrying the exact shortfall, and
+// non-prime moduli fail the base validation before any NTT check runs.
+func TestNewNTTAcceptReject(t *testing.T) {
+	cases := []struct {
+		name   string
+		q      uint64
+		size   int
+		accept bool
+	}{
+		{"qntt max size", QNTT, 1 << 21, true},
+		{"qntt small", QNTT, 16, true},
+		{"qntt size 1", QNTT, 1, true},
+		{"qntt oversized", QNTT, 1 << 22, false},
+		{"paper field size 8", QDefault, 8, true},
+		{"paper field size 16", QDefault, 16, false},
+		{"non power of two", QNTT, 12, false},
+		{"zero size", QNTT, 0, false},
+		{"negative size", QNTT, -4, false},
+		{"q=97 size 32", 97, 32, true}, // 96 = 2^5·3
+		{"q=97 size 64", 97, 64, false},
+	}
+	for _, c := range cases {
+		f, err := NewNTT(c.q, c.size)
+		if c.accept {
+			if err != nil {
+				t.Errorf("%s: rejected: %v", c.name, err)
+				continue
+			}
+			if !f.NTTSupported(c.size) {
+				t.Errorf("%s: accepted but NTTSupported is false", c.name)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted q=%d size=%d", c.name, c.q, c.size)
+			continue
+		}
+		var sizeErr *NTTSizeError
+		if !errors.As(err, &sizeErr) {
+			t.Errorf("%s: error is %T, want *NTTSizeError", c.name, err)
+			continue
+		}
+		if sizeErr.Q != c.q || sizeErr.Size != c.size {
+			t.Errorf("%s: error fields (q=%d, size=%d), want (%d, %d)",
+				c.name, sizeErr.Q, sizeErr.Size, c.q, c.size)
+		}
+	}
+	// A composite modulus fails New's primality check, not the NTT check.
+	if _, err := NewNTT(1<<20, 16); err == nil {
+		t.Error("NewNTT accepted a composite modulus")
+	} else {
+		var sizeErr *NTTSizeError
+		if errors.As(err, &sizeErr) {
+			t.Error("composite modulus reported as an NTT size error")
+		}
+	}
+}
+
+func TestNTTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range []struct {
+		f    *Field
+		size int
+	}{
+		{NTTFriendly(), 1}, {NTTFriendly(), 2}, {NTTFriendly(), 4},
+		{NTTFriendly(), 16}, {NTTFriendly(), 64}, {NTTFriendly(), 256},
+		{Default(), 8}, {MustNew(97), 32},
+	} {
+		p, err := tc.f.NTT(tc.size)
+		if err != nil {
+			t.Fatalf("q=%d size=%d: %v", tc.f.Q(), tc.size, err)
+		}
+		// ω must have exact order n.
+		if got := tc.f.Exp(p.Root(), uint64(tc.size)); got != 1 {
+			t.Fatalf("q=%d size=%d: ω^n = %d, want 1", tc.f.Q(), tc.size, got)
+		}
+		if tc.size > 1 {
+			if got := tc.f.Exp(p.Root(), uint64(tc.size/2)); got == 1 {
+				t.Fatalf("q=%d size=%d: ω has order below n", tc.f.Q(), tc.size)
+			}
+		}
+		a := tc.f.RandVec(rng, tc.size)
+		want := naiveDFT(tc.f, p.Root(), a)
+		got := CopyVec(a)
+		p.Forward(got)
+		if !EqualVec(got, want) {
+			t.Fatalf("q=%d size=%d: Forward diverges from naive DFT", tc.f.Q(), tc.size)
+		}
+		p.Inverse(got)
+		if !EqualVec(got, a) {
+			t.Fatalf("q=%d size=%d: Inverse∘Forward is not the identity", tc.f.Q(), tc.size)
+		}
+	}
+}
+
+func TestNTTPlanCached(t *testing.T) {
+	f := NTTFriendly()
+	p1, err := f.NTT(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := f.NTT(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("NTT(64) rebuilt the plan instead of returning the cached one")
+	}
+}
+
+// FuzzNTTRoundTrip hunts panics and round-trip violations: for any size,
+// requesting a plan must either fail with a typed error (never panic) or
+// yield a transform whose Inverse∘Forward is the identity on arbitrary
+// input, over both the paper modulus and the NTT-friendly one.
+func FuzzNTTRoundTrip(fz *testing.F) {
+	fz.Add(int(16), int64(1), false)
+	fz.Add(int(8), int64(2), true)
+	fz.Add(int(0), int64(3), false)
+	fz.Add(int(-1), int64(4), true)
+	fz.Add(int(12), int64(5), false)
+	fz.Add(int(1<<30), int64(6), false)
+	fz.Fuzz(func(t *testing.T, size int, seed int64, paper bool) {
+		f := NTTFriendly()
+		if paper {
+			f = Default()
+		}
+		if f.NTTSupported(size) && size > 1<<12 {
+			return // valid but too large to build under the fuzzer's budget
+		}
+		p, err := f.NTT(size)
+		if err != nil {
+			var sizeErr *NTTSizeError
+			if !errors.As(err, &sizeErr) {
+				t.Fatalf("NTT(%d) returned an untyped error: %v", size, err)
+			}
+			if f.NTTSupported(size) {
+				t.Fatalf("NTT(%d) rejected a supported size", size)
+			}
+			return
+		}
+		a := f.RandVec(rand.New(rand.NewSource(seed)), size)
+		got := CopyVec(a)
+		p.Forward(got)
+		p.Inverse(got)
+		if !EqualVec(got, a) {
+			t.Fatalf("q=%d size=%d: Inverse∘Forward is not the identity", f.Q(), size)
+		}
+	})
+}

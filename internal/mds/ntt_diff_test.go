@@ -1,0 +1,319 @@
+package mds
+
+// Differential suite pinning the NTT fast path to the Lagrange formulas:
+// the subgroup-domain generator, encoder, and decoder must be bit-exact
+// with dense Lagrange arithmetic over the SAME evaluation points, for
+// power-of-two and non-power-of-two k, including the all-(q−1) worst case
+// that stresses the fused kernel's lazy accumulators.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/poly"
+)
+
+var nttDiffShapes = []struct{ n, k int }{
+	{12, 9}, {4, 2}, {16, 8}, {12, 7}, {8, 8}, {16, 15},
+}
+
+// TestNTTAcceleratedGuard pins the dispatch criterion: the fast path engages
+// exactly when the modulus' 2-adicity hosts nextpow2(N) points. A silent
+// fallback on the NTT modulus at the paper's shape would be a perf
+// regression invisible to correctness tests — this is the guard.
+func TestNTTAcceleratedGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *field.Field
+		n, k int
+		want bool
+	}{
+		{"ntt modulus paper shape", field.NTTFriendly(), 12, 9, true},
+		{"ntt modulus large", field.NTTFriendly(), 1 << 10, 700, true},
+		{"paper modulus paper shape", field.Default(), 12, 9, false},
+		{"paper modulus within adicity", field.Default(), 8, 5, true},
+		{"paper modulus just beyond adicity", field.Default(), 9, 5, false},
+		{"q=97 paper shape", field.MustNew(97), 12, 9, true}, // 96 = 2^5·3
+	}
+	for _, c := range cases {
+		code, err := New(c.f, c.n, c.k)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := code.NTTAccelerated(); got != c.want {
+			t.Errorf("%s: NTTAccelerated = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSubgroupGeneratorMatchesLagrange rebuilds the fast-path generator with
+// poly.InterpWeightsBatch over the SAME subgroup points: by uniqueness of
+// the interpolant the transform pipeline must reproduce ℓ_j(α_i) bit-exactly,
+// and the systematic columns must be exact unit vectors (the property the
+// zero-copy shards rely on).
+func TestSubgroupGeneratorMatchesLagrange(t *testing.T) {
+	f := field.NTTFriendly()
+	for _, sh := range nttDiffShapes {
+		code, err := New(f, sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", sh.n, sh.k, err)
+		}
+		if !code.NTTAccelerated() {
+			t.Fatalf("(%d,%d): expected the fast path", sh.n, sh.k)
+		}
+		gen := code.Generator()
+		ref := poly.InterpWeightsBatch(f, code.alphas[:sh.k], code.alphas)
+		for i := 0; i < sh.n; i++ {
+			for j := 0; j < sh.k; j++ {
+				if gen.At(j, i) != ref[i][j] {
+					t.Fatalf("(%d,%d): gen[%d][%d] = %d, Lagrange says %d",
+						sh.n, sh.k, j, i, gen.At(j, i), ref[i][j])
+				}
+			}
+		}
+		for i := 0; i < sh.k; i++ {
+			for j := 0; j < sh.k; j++ {
+				want := field.Elem(0)
+				if i == j {
+					want = 1
+				}
+				if gen.At(j, i) != want {
+					t.Fatalf("(%d,%d): systematic column %d is not a unit vector", sh.n, sh.k, i)
+				}
+			}
+		}
+	}
+}
+
+// naiveEncode is the reference encoder: per-element Σ_j gen[j][i]·block_j
+// with immediate modular arithmetic — no lazy accumulation, no fused
+// kernel, no transforms.
+func naiveEncode(f *field.Field, gen *fieldmat.Matrix, blocks []*fieldmat.Matrix, n int) []*fieldmat.Matrix {
+	out := make([]*fieldmat.Matrix, n)
+	for i := 0; i < n; i++ {
+		sh := fieldmat.NewMatrix(blocks[0].Rows, blocks[0].Cols)
+		for j, b := range blocks {
+			coef := gen.At(j, i)
+			for e, v := range b.Data {
+				sh.Data[e] = f.Add(sh.Data[e], f.Mul(coef, v))
+			}
+		}
+		out[i] = sh
+	}
+	return out
+}
+
+// TestNTTEncodeMatchesNaiveReference drives the full fast-path encoder
+// (zero-copy shards + fused parity kernel) against the naive reference,
+// including a matrix of all q−1 values — the lazy-accumulator worst case.
+func TestNTTEncodeMatchesNaiveReference(t *testing.T) {
+	f := field.NTTFriendly()
+	rng := rand.New(rand.NewSource(91))
+	for _, sh := range nttDiffShapes {
+		code, err := New(f, sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", sh.n, sh.k, err)
+		}
+		for trial := 0; trial < 2; trial++ {
+			x := fieldmat.Rand(f, rng, 3*sh.k, 17)
+			if trial == 1 {
+				for e := range x.Data {
+					x.Data[e] = f.Q() - 1
+				}
+			}
+			blocks := fieldmat.SplitRows(x, sh.k)
+			want := naiveEncode(f, code.Generator(), blocks, sh.n)
+			got, err := code.EncodeMatrix(x)
+			if err != nil {
+				t.Fatalf("(%d,%d) trial %d: %v", sh.n, sh.k, trial, err)
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("(%d,%d) trial %d: shard %d diverges from naive reference",
+						sh.n, sh.k, trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestNTTEncodeDecodeRoundTrip closes the loop on the fast path: encode,
+// compute per-shard results, decode from assorted K-subsets (and a shuffled
+// ordering), recover the direct product.
+func TestNTTEncodeDecodeRoundTrip(t *testing.T) {
+	f := field.NTTFriendly()
+	rng := rand.New(rand.NewSource(92))
+	code, err := New(f, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !code.NTTAccelerated() {
+		t.Fatal("expected the fast path")
+	}
+	x := fieldmat.Rand(f, rng, 27, 8)
+	w := f.RandVec(rng, 8)
+	shards, err := code.EncodeMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fieldmat.MatVec(f, x, w)
+	results := make([][]field.Elem, 12)
+	for i, s := range shards {
+		results[i] = fieldmat.MatVec(f, s, w)
+	}
+	for _, idx := range [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		{3, 4, 5, 6, 7, 8, 9, 10, 11},
+		{0, 2, 4, 6, 8, 9, 10, 11, 1},
+		{11, 0, 9, 2, 7, 4, 5, 6, 3},
+	} {
+		res := make([][]field.Elem, len(idx))
+		for r, i := range idx {
+			res[r] = results[i]
+		}
+		got, err := code.DecodeConcat(idx, res)
+		if err != nil {
+			t.Fatalf("decode %v: %v", idx, err)
+		}
+		if !field.EqualVec(got, want) {
+			t.Fatalf("decode %v did not recover X·w", idx)
+		}
+	}
+}
+
+// TestEncodeMatrixZeroCopyViews checks the fast path's aliasing contract:
+// the first K shards share x's backing storage, byte for byte.
+func TestEncodeMatrixZeroCopyViews(t *testing.T) {
+	f := field.NTTFriendly()
+	rng := rand.New(rand.NewSource(93))
+	code, err := New(f, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fieldmat.Rand(f, rng, 18, 4)
+	shards, err := code.EncodeMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := (x.Rows / 9) * x.Cols
+	for i := 0; i < 9; i++ {
+		if &shards[i].Data[0] != &x.Data[i*width] {
+			t.Fatalf("shard %d does not view x's block %d", i, i)
+		}
+	}
+	for i := 9; i < 12; i++ {
+		if len(shards[i].Data) != width {
+			t.Fatalf("parity shard %d has width %d, want %d", i, len(shards[i].Data), width)
+		}
+	}
+}
+
+// TestEncodeMatrixIntoAllocs pins the steady-state allocation count of the
+// Into form to zero on both paths — the satellite fix for the seed
+// encoder's 44 allocs/op (SplitRows copies plus per-shard matrices).
+func TestEncodeMatrixIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for _, tc := range []struct {
+		name string
+		f    *field.Field
+	}{
+		{"ntt path", field.NTTFriendly()},
+		{"lagrange path", field.Default()},
+	} {
+		code, err := New(tc.f, 12, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := fieldmat.Rand(tc.f, rng, 36, 7)
+		shards := make([]*fieldmat.Matrix, 12)
+		if err := code.EncodeMatrixInto(shards, x); err != nil { // warm: allocate shard storage
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(20, func() {
+			if err := code.EncodeMatrixInto(shards, x); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("%s: EncodeMatrixInto allocates %.1f/op in steady state, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestDecodeIntoAllocs pins the steady-state decode to zero allocations on
+// plan-cache hits (the round loop's common case).
+func TestDecodeIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	f := field.NTTFriendly()
+	code, err := New(f, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fieldmat.Rand(f, rng, 27, 6)
+	w := f.RandVec(rng, 6)
+	shards, err := code.EncodeMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{0, 2, 3, 5, 6, 7, 9, 10, 11}
+	res := make([][]field.Elem, len(idx))
+	for r, i := range idx {
+		res[r] = fieldmat.MatVec(f, shards[i], w)
+	}
+	dst := make([][]field.Elem, 9)
+	for j := range dst {
+		dst[j] = make([]field.Elem, 3)
+	}
+	flat := make([]field.Elem, 27)
+	if err := code.DecodeVectorsInto(dst, idx, res); err != nil { // warm the plan cache
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := code.DecodeVectorsInto(dst, idx, res); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("DecodeVectorsInto allocates %.1f/op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := code.DecodeConcatInto(flat, idx, res); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("DecodeConcatInto allocates %.1f/op in steady state, want 0", avg)
+	}
+	want := fieldmat.MatVec(f, x, w)
+	if !field.EqualVec(flat, want) {
+		t.Fatal("DecodeConcatInto result diverges")
+	}
+}
+
+// TestLagrangePathUnchangedByRefactor cross-checks the Into refactor on the
+// paper modulus at the paper shape: the new EncodeMatrix (no SplitRows
+// copy) must reproduce the seed's EncodeBlocks∘SplitRows composition.
+func TestLagrangePathUnchangedByRefactor(t *testing.T) {
+	f := field.Default()
+	rng := rand.New(rand.NewSource(96))
+	code, err := New(f, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.NTTAccelerated() {
+		t.Fatal("paper modulus at (12,9) must take the Lagrange path")
+	}
+	x := fieldmat.Rand(f, rng, 36, 11)
+	viaBlocks, err := code.EncodeBlocks(fieldmat.SplitRows(x, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMatrix, err := code.EncodeMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaBlocks {
+		if !viaBlocks[i].Equal(viaMatrix[i]) {
+			t.Fatalf("shard %d: EncodeMatrix diverges from EncodeBlocks∘SplitRows", i)
+		}
+	}
+}

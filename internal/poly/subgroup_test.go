@@ -1,0 +1,124 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// subgroupShapes spans the dispatch-relevant geometry: the paper's (12,9),
+// the minimal (4,2), power-of-two and non-power-of-two k, k = n, k = 1, and
+// a shape whose r = k − hh remainder is maximal (k = 2^m − 1).
+var subgroupShapes = []struct{ n, k int }{
+	{12, 9}, {4, 2}, {16, 8}, {12, 7}, {8, 8}, {5, 5}, {6, 1}, {16, 15}, {13, 9}, {32, 17},
+}
+
+func TestSubgroupPointsDistinct(t *testing.T) {
+	f := field.NTTFriendly()
+	for _, sh := range subgroupShapes {
+		s, err := NewSubgroup(f, sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", sh.n, sh.k, err)
+		}
+		pts := s.Points()
+		if len(pts) != sh.n {
+			t.Fatalf("(%d,%d): %d points", sh.n, sh.k, len(pts))
+		}
+		seen := make(map[field.Elem]bool)
+		for _, p := range pts {
+			if seen[p] {
+				t.Fatalf("(%d,%d): duplicate point %d", sh.n, sh.k, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestSubgroupInterpMatchesLagrange pins the transform pipeline to the
+// classical reference: Interp must return exactly the polynomial
+// Interpolate builds from the same points, and Eval must return exactly
+// Horner evaluation — the theorem (uniqueness of the degree-<k
+// interpolant) that makes the NTT fast path bit-exact by construction.
+func TestSubgroupInterpMatchesLagrange(t *testing.T) {
+	f := field.NTTFriendly()
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range subgroupShapes {
+		s, err := NewSubgroup(f, sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", sh.n, sh.k, err)
+		}
+		pts := s.Points()
+		for trial := 0; trial < 3; trial++ {
+			y := f.RandVec(rng, sh.k)
+			if trial == 2 { // worst case: every value at the field's ceiling
+				for i := range y {
+					y[i] = f.Q() - 1
+				}
+			}
+			p := s.Interp(y)
+			want := Interpolate(f, pts[:sh.k], y)
+			if !Equal(p, want) {
+				t.Fatalf("(%d,%d) trial %d: Interp diverges from Lagrange interpolation", sh.n, sh.k, trial)
+			}
+			got := make([]field.Elem, sh.n)
+			s.Eval(p, got)
+			for i, pt := range pts {
+				if want := p.Eval(f, pt); got[i] != want {
+					t.Fatalf("(%d,%d) trial %d: Eval[%d] = %d, Horner says %d", sh.n, sh.k, trial, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSubgroupEncodeSystematic checks Encode's defining properties on every
+// shape: the first k outputs reproduce the data exactly (zero-copy
+// systematic shards depend on this), and all n outputs match the dense
+// Lagrange evaluation reference.
+func TestSubgroupEncodeSystematic(t *testing.T) {
+	f := field.NTTFriendly()
+	rng := rand.New(rand.NewSource(22))
+	for _, sh := range subgroupShapes {
+		s, err := NewSubgroup(f, sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", sh.n, sh.k, err)
+		}
+		pts := s.Points()
+		y := f.RandVec(rng, sh.k)
+		out := make([]field.Elem, sh.n)
+		s.Encode(y, out)
+		if !field.EqualVec(out[:sh.k], y) {
+			t.Fatalf("(%d,%d): Encode is not systematic", sh.n, sh.k)
+		}
+		for i := sh.k; i < sh.n; i++ {
+			if want := EvalLagrange(f, pts[:sh.k], y, pts[i]); out[i] != want {
+				t.Fatalf("(%d,%d): parity %d = %d, Lagrange reference says %d", sh.n, sh.k, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestSubgroupOnPaperModulusSmall(t *testing.T) {
+	// The paper's modulus has 2-adicity 3: (8, k) fits, (12, 9) must fail
+	// with the field's typed size error — the mds fallback criterion.
+	f := field.Default()
+	if _, err := NewSubgroup(f, 8, 5); err != nil {
+		t.Fatalf("(8,5) on the paper modulus should fit its 2-adicity of 3: %v", err)
+	}
+	_, err := NewSubgroup(f, 12, 9)
+	var sizeErr *field.NTTSizeError
+	if !errors.As(err, &sizeErr) {
+		t.Fatalf("(12,9) on the paper modulus: got %v, want *field.NTTSizeError", err)
+	}
+}
+
+func TestSubgroupRejectsBadShapes(t *testing.T) {
+	f := field.NTTFriendly()
+	for _, sh := range []struct{ n, k int }{{0, 0}, {4, 0}, {3, 4}, {-1, 1}} {
+		if _, err := NewSubgroup(f, sh.n, sh.k); err == nil {
+			t.Errorf("NewSubgroup(%d,%d) accepted invalid shape", sh.n, sh.k)
+		}
+	}
+}

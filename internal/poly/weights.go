@@ -99,9 +99,22 @@ func NewDecodePlans(f *field.Field, targets []field.Elem) *DecodePlans {
 // xs: decoded[t] = Σ_r w[t][r]·results[r]. The result is memoized per
 // ordered xs and must not be mutated. xs must be distinct.
 func (p *DecodePlans) Weights(xs []field.Elem) [][]field.Elem {
-	key := pointSetKey(xs)
+	// The hit path is allocation-free: for point sets up to 64 elements the
+	// key bytes live in a stack array, and indexing the map with a
+	// string(buf) conversion expression lets the compiler skip
+	// materialising the string. Only a miss pays pointSetKey's allocation.
+	var arr [256]byte
+	var buf []byte
+	if 4*len(xs) <= len(arr) {
+		buf = arr[:4*len(xs)]
+	} else {
+		buf = make([]byte, 4*len(xs))
+	}
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
+	}
 	p.mu.Lock()
-	w, ok := p.plans[key]
+	w, ok := p.plans[string(buf)]
 	p.mu.Unlock()
 	if ok {
 		return w
@@ -111,21 +124,9 @@ func (p *DecodePlans) Weights(xs []field.Elem) [][]field.Elem {
 	if len(p.plans) >= planCacheCap {
 		p.plans = make(map[string][][]field.Elem)
 	}
-	p.plans[key] = w
+	p.plans[string(buf)] = w
 	p.mu.Unlock()
 	return w
-}
-
-// pointSetKey serialises an ordered point set as the cache key: 4
-// little-endian bytes per element (all evaluation points are canonical
-// elements of a q < 2^32 field). Order matters — weights align with the
-// caller's results slice.
-func pointSetKey(xs []field.Elem) string {
-	buf := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
-	}
-	return string(buf)
 }
 
 // lagrangeDenominators returns d_j = Π_{k≠j}(x_j−x_k) for all j. The points
@@ -151,16 +152,28 @@ func lagrangeDenominators(f *field.Field, xs []field.Elem) []field.Elem {
 // field.LazyBatch contributing vectors (the output slice doubles as the
 // uint64 accumulator row, so no scratch is allocated).
 func CombineVectors(f *field.Field, w []field.Elem, vecs [][]field.Elem) []field.Elem {
-	if len(w) != len(vecs) {
-		panic("poly: CombineVectors length mismatch")
-	}
 	if len(vecs) == 0 {
+		if len(w) != 0 {
+			panic("poly: CombineVectors length mismatch")
+		}
 		return nil
 	}
 	out := make([]field.Elem, len(vecs[0]))
-	la := f.NewLazyAcc(out)
+	CombineVectorsInto(f, out, w, vecs)
+	return out
+}
+
+// CombineVectorsInto is CombineVectors writing into a caller-owned dst —
+// the zero-allocation form the pooled decode path uses. dst is
+// overwritten, must match the vectors' length, and must not alias them.
+func CombineVectorsInto(f *field.Field, dst []field.Elem, w []field.Elem, vecs [][]field.Elem) {
+	if len(w) != len(vecs) {
+		panic("poly: CombineVectors length mismatch")
+	}
+	clear(dst)
+	la := f.NewLazyAcc(dst)
 	for j, wj := range w {
-		if len(vecs[j]) != len(out) {
+		if len(vecs[j]) != len(dst) {
 			panic("poly: CombineVectors ragged vectors")
 		}
 		if wj != 0 {
@@ -168,5 +181,4 @@ func CombineVectors(f *field.Field, w []field.Elem, vecs [][]field.Elem) []field
 		}
 	}
 	la.Reduce()
-	return out
 }

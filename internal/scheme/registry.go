@@ -103,6 +103,10 @@ func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matr
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Modulus != 0 && cfg.Modulus != f.Q() {
+		return nil, &InvalidConfigError{"Modulus",
+			fmt.Sprintf("= %d but the supplied field has q = %d: resolve the field with scheme.FieldFor", cfg.Modulus, f.Q())}
+	}
 	if cfg.Shards > 1 {
 		return newSharded(e, name, f, cfg, data, behaviors, stragglers)
 	}

@@ -25,6 +25,7 @@ package scheme
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/field"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
 )
@@ -109,6 +110,13 @@ type Config struct {
 	// Seed instead of crypto/rand. FOR TESTS ONLY: a predictable key lets an
 	// adversary craft outputs that pass verification.
 	DeterministicKeys bool
+	// Modulus pins the configuration to a specific prime field: FieldFor
+	// resolves it to the field the deployment should run on, and New rejects
+	// a master construction whose field disagrees — a config tuned for the
+	// NTT-friendly modulus silently running on the paper's modulus (or vice
+	// versa) would invalidate any benchmark comparison. 0 means the caller's
+	// field is authoritative (the paper's default modulus via FieldFor).
+	Modulus uint64
 }
 
 // Option mutates a Config under construction.
@@ -220,4 +228,28 @@ func WithReceipts(receipts bool) Option {
 // suites, NOT for deployments (a predictable key forfeits soundness).
 func WithDeterministicKeys(deterministic bool) Option {
 	return func(c *Config) { c.DeterministicKeys = deterministic }
+}
+
+// WithModulus pins the config to the prime field of modulus q (resolve it
+// with FieldFor). 0 — the default — leaves the field to the caller. The two
+// shipped moduli are field.QDefault (the paper's q = 2²⁵−39, Lagrange
+// codecs) and field.QNTT (11·2²¹+1, which unlocks the NTT fast path in
+// internal/mds); any other prime ≥ 5 works too.
+func WithModulus(q uint64) Option {
+	return func(c *Config) { c.Modulus = q }
+}
+
+// FieldFor resolves cfg.Modulus to its field: the process-wide shared
+// instance for the two shipped moduli (their NTT plan and decode caches are
+// per-Field, so sharing matters), a freshly validated field.New otherwise,
+// and the paper's default field when Modulus is 0.
+func FieldFor(cfg Config) (*field.Field, error) {
+	switch cfg.Modulus {
+	case 0, field.QDefault:
+		return field.Default(), nil
+	case field.QNTT:
+		return field.NTTFriendly(), nil
+	default:
+		return field.New(cfg.Modulus)
+	}
 }
