@@ -1,0 +1,88 @@
+// Command avcclint runs the repo's invariant analyzer suite (internal/lint,
+// DESIGN.md §13) over a package pattern set and prints findings in the
+// standard file:line:col format. Exit status 1 means findings, 2 means the
+// load or an analyzer failed.
+//
+// Usage:
+//
+//	go run ./cmd/avcclint ./...
+//	go run ./cmd/avcclint -only lazyreduce,noalloc ./internal/field/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: avcclint [-only names] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "avcclint: unknown analyzer %q\n", name)
+			}
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avcclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			diags, err := a.RunPackage(pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "avcclint: %s: %v\n", pkg.Path, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s: [%s] %s\n", pos, a.Name, d.Message)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "avcclint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -47,6 +47,8 @@ var fusedAccPool = sync.Pool{New: func() any { return new(fusedAcc) }}
 // weight row per destination, each len(srcs) long. Destinations are
 // overwritten and must not alias any source. Zero steady-state allocations
 // (accumulator strips are pooled).
+//
+//avcc:noalloc
 func (f *Field) FusedCombineInto(dsts [][]Elem, w [][]Elem, srcs [][]Elem) {
 	if len(w) != len(dsts) {
 		panic("field: FusedCombineInto needs one weight row per destination")
@@ -102,6 +104,9 @@ func (f *Field) FusedCombineInto(dsts [][]Elem, w [][]Elem, srcs [][]Elem) {
 // be in [4, f.lazyBatch]. Sources split into a head group of 1–3
 // (accumulator stores, no read-back), middle groups of 3, and a final
 // group of 3 that fuses the Barrett reduction with the destination store.
+//
+//avcc:lazy-ok caller enforces 4 <= len(srcs) <= f.lazyBatch, so the strips absorb at most LazyBatch raw products
+//avcc:noalloc
 func (f *Field) fused3Into(d0, d1, d2 []Elem, w0, w1, w2 []Elem, srcs [][]Elem) {
 	k := len(srcs)
 	head := (k-4)%3 + 1 // leaves k − head ≥ 3 and divisible by 3

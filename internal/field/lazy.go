@@ -15,6 +15,8 @@ package field
 // AXPYLazy adds c·a element-wise into the raw accumulator row acc WITHOUT
 // reducing: one multiply and one add per element. It counts as one
 // accumulation step toward the LazyBatch bound.
+//
+//avcc:noalloc
 func (f *Field) AXPYLazy(acc []uint64, c Elem, a []Elem) {
 	if len(acc) != len(a) {
 		panic("field: AXPYLazy length mismatch")
@@ -26,6 +28,8 @@ func (f *Field) AXPYLazy(acc []uint64, c Elem, a []Elem) {
 
 // ReduceAcc reduces every accumulator entry to canonical form in place,
 // resetting the lazy-step budget to LazyBatch.
+//
+//avcc:noalloc
 func (f *Field) ReduceAcc(acc []uint64) {
 	for i, v := range acc {
 		acc[i] = f.barrett(v)
@@ -34,6 +38,8 @@ func (f *Field) ReduceAcc(acc []uint64) {
 
 // FlushAcc reduces acc into dst and zeroes acc, leaving it ready for the
 // next row of a blocked kernel. dst and acc must not alias unless identical.
+//
+//avcc:noalloc
 func (f *Field) FlushAcc(dst []Elem, acc []uint64) {
 	if len(dst) != len(acc) {
 		panic("field: FlushAcc length mismatch")
@@ -62,6 +68,8 @@ func (f *Field) NewLazyAcc(acc []uint64) LazyAcc {
 // AXPY adds c·row into the accumulator, reducing first if the budget is
 // spent. Callers may skip zero coefficients entirely — skipped rows add no
 // terms and need no budget.
+//
+//avcc:noalloc
 func (a *LazyAcc) AXPY(c Elem, row []Elem) {
 	if a.budget == 0 {
 		a.f.ReduceAcc(a.acc)
@@ -73,6 +81,8 @@ func (a *LazyAcc) AXPY(c Elem, row []Elem) {
 
 // Reduce brings every entry to canonical form in place (for accumulators
 // that double as the output row) and restores the full budget.
+//
+//avcc:noalloc
 func (a *LazyAcc) Reduce() {
 	a.f.ReduceAcc(a.acc)
 	a.budget = a.f.lazyBatch
@@ -80,6 +90,8 @@ func (a *LazyAcc) Reduce() {
 
 // Flush reduces the accumulator into dst and zeroes it for reuse. dst must
 // not alias the accumulator row.
+//
+//avcc:noalloc
 func (a *LazyAcc) Flush(dst []Elem) {
 	a.f.FlushAcc(dst, a.acc)
 	a.budget = a.f.lazyBatch

@@ -153,10 +153,14 @@ func (p *NTTPlan) Root() Elem { return p.omega }
 
 // Forward transforms a in place from coefficient form to evaluations:
 // a[i] ← Σ_j a[j]·ω^(ij). len(a) must equal Size.
+//
+//avcc:noalloc
 func (p *NTTPlan) Forward(a []Elem) { p.transform(a, p.tw) }
 
 // Inverse transforms a in place from evaluations back to coefficients:
 // a[j] ← n⁻¹·Σ_i a[i]·ω^(−ij), the exact inverse of Forward.
+//
+//avcc:noalloc
 func (p *NTTPlan) Inverse(a []Elem) {
 	p.transform(a, p.twInv)
 	for i, v := range a {
@@ -168,8 +172,11 @@ func (p *NTTPlan) Inverse(a []Elem) {
 // butterflies: bit-reverse the input, then log₂ n stages of
 // (u, v) → (u + w·v, u − w·v). Natural-order input yields natural-order
 // output.
+//
+//avcc:noalloc
 func (p *NTTPlan) transform(a []Elem, tw []Elem) {
 	if len(a) != p.n {
+		//avcc:alloc-ok fatal-misuse path; never taken on the hot path
 		panic(fmt.Sprintf("field: NTT length %d on a size-%d plan", len(a), p.n))
 	}
 	f := p.f

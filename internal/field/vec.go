@@ -6,6 +6,8 @@ package field
 
 // AddVec stores a+b element-wise into dst. All three slices must have equal
 // length; dst may alias a or b.
+//
+//avcc:noalloc
 func (f *Field) AddVec(dst, a, b []Elem) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("field: AddVec length mismatch")
@@ -20,6 +22,8 @@ func (f *Field) AddVec(dst, a, b []Elem) {
 }
 
 // SubVec stores a-b element-wise into dst.
+//
+//avcc:noalloc
 func (f *Field) SubVec(dst, a, b []Elem) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("field: SubVec length mismatch")
@@ -34,6 +38,8 @@ func (f *Field) SubVec(dst, a, b []Elem) {
 }
 
 // ScaleVec stores c·a element-wise into dst.
+//
+//avcc:noalloc
 func (f *Field) ScaleVec(dst []Elem, c Elem, a []Elem) {
 	if len(dst) != len(a) {
 		panic("field: ScaleVec length mismatch")
@@ -48,6 +54,8 @@ func (f *Field) ScaleVec(dst []Elem, c Elem, a []Elem) {
 // dst[i] + c·a[i] ≤ (q−1) + (q−1)² < 2^64, so each element costs one raw
 // multiply-add and one Barrett reduction — no division. For long chains of
 // AXPYs into the same destination, AXPYLazy amortises even the Barrett step.
+//
+//avcc:noalloc
 func (f *Field) AXPY(dst []Elem, c Elem, a []Elem) {
 	if len(dst) != len(a) {
 		panic("field: AXPY length mismatch")
@@ -63,12 +71,16 @@ func (f *Field) AXPY(dst []Elem, c Elem, a []Elem) {
 // q = 2^25−39 that is one reduction per 8192 multiply-adds — the inner loop
 // is a bare IMUL+ADD, which is the whole point of the 25-bit field choice
 // (d·(q−1)² ≤ 2^63−1 for GISETTE's d = 5000).
+//
+//avcc:noalloc
 func (f *Field) Dot(a, b []Elem) Elem {
 	return f.DotAcc(0, a, b)
 }
 
 // DotAcc returns (acc + <a, b>) mod q for canonical acc: a running inner
 // product, the primitive the column-tiled matrix kernels chain across tiles.
+//
+//avcc:noalloc
 func (f *Field) DotAcc(acc Elem, a, b []Elem) Elem {
 	if len(a) != len(b) {
 		panic("field: Dot length mismatch")

@@ -124,10 +124,12 @@ type accBuf struct{ s []uint64 }
 var accPool = sync.Pool{New: func() any { return new(accBuf) }}
 
 // getAcc returns a zeroed accumulator row of length n.
+//
+//avcc:noalloc
 func getAcc(n int) *accBuf {
 	b := accPool.Get().(*accBuf)
 	if cap(b.s) < n {
-		b.s = make([]uint64, n)
+		b.s = make([]uint64, n) //avcc:alloc-ok pool-miss refill: first use per size class only
 	}
 	b.s = b.s[:n]
 	return b
@@ -135,4 +137,6 @@ func getAcc(n int) *accBuf {
 
 // putAcc returns a row to the pool. The caller must have flushed it (all
 // entries zero) — see accBuf.
+//avcc:noalloc
+
 func putAcc(b *accBuf) { accPool.Put(b) }

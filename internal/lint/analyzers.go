@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full analyzer suite in stable (report) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LazyReduce,
+		NoAlloc,
+		CtxFlow,
+		TypedErr,
+		SeedSource,
+	}
+}

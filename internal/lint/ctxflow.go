@@ -1,0 +1,228 @@
+package lint
+
+// ctxflow enforces the cancellation contract introduced by the async round
+// machinery (DESIGN.md §8): once a call chain carries a context.Context,
+// every blocking callee must receive it — a context.Background() or
+// context.TODO() in the middle of the chain severs the caller's deadline
+// and cancellation from everything below it, which is exactly the bug class
+// the per-call RPC deadline work eliminated.
+//
+//	rule 1 (no detach): a function that receives a context.Context must not
+//	call context.Background() or context.TODO(), and must not pass a nil
+//	Context, anywhere in its body. Deliberate detaches (a shared round that
+//	must survive a single caller's cancellation) carry //avcc:ctx-ok with a
+//	reason.
+//
+//	rule 2 (no drop): an exported ctx-carrying method on a cluster.Master or
+//	cluster.Executor implementation, or on scheme.Service, must actually use
+//	its ctx — a ctx parameter that never flows anywhere means every blocking
+//	callee below runs detached.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow is the context-threading analyzer.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag severed or dropped context.Context threading in ctx-carrying call chains",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	masters := contractInterfaces(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fn)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			checkNoDetach(pass, file, fn)
+			if fn.Name.IsExported() && fn.Recv != nil && implementsContract(pass, fn, masters) {
+				checkCtxUsed(pass, fn, ctxParams)
+			}
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of fn's context.Context parameters.
+func contextParams(pass *Pass, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, nil) // blank ctx param: discarded outright
+				continue
+			}
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed ctx param: cannot be used at all
+		}
+	}
+	return out
+}
+
+// checkNoDetach flags context.Background()/TODO() calls and nil Context
+// arguments inside a ctx-carrying function.
+func checkNoDetach(pass *Pass, file *ast.File, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "context" {
+						if !pass.allowedAt(file, call.Pos(), "ctx-ok") {
+							pass.Reportf(call.Pos(),
+								"context.%s() inside ctx-carrying %s severs the caller's cancellation chain: thread the ctx parameter (or annotate //avcc:ctx-ok with a reason)",
+								name, fn.Name.Name)
+						}
+					}
+				}
+			}
+		}
+		// A literal nil passed where the callee expects a Context is the
+		// same severed chain with extra nil-dereference risk.
+		sig := callSignature(pass, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			tv, ok := pass.Info.Types[arg]
+			if !ok || !tv.IsNil() {
+				continue
+			}
+			if pt := paramTypeAt(sig, i, call); pt != nil && isContextType(pt) {
+				if !pass.allowedAt(file, arg.Pos(), "ctx-ok") {
+					pass.Reportf(arg.Pos(),
+						"nil Context passed inside ctx-carrying %s: thread the ctx parameter",
+						fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxUsed flags contract methods whose ctx parameter never flows into
+// the body.
+func checkCtxUsed(pass *Pass, fn *ast.FuncDecl, ctxParams []types.Object) {
+	for _, obj := range ctxParams {
+		if obj == nil || obj.Name() == "_" {
+			pass.Reportf(fn.Pos(),
+				"exported contract method %s discards its context.Context parameter: every blocking callee below it runs detached",
+				fn.Name.Name)
+			continue
+		}
+		used := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(fn.Pos(),
+				"exported contract method %s never uses its ctx parameter %s: every blocking callee below it runs detached",
+				fn.Name.Name, obj.Name())
+		}
+	}
+}
+
+// contractInterfaces resolves the interfaces whose implementations owe the
+// full ctx-threading contract: cluster.Master and cluster.Executor. They
+// are looked up through the package's import graph, so the analyzer needs
+// no compile-time dependency on the cluster package.
+func contractInterfaces(pass *Pass) []*types.Interface {
+	var out []*types.Interface
+	for _, pkg := range append([]*types.Package{pass.Pkg}, allImports(pass.Pkg)...) {
+		if pkg.Path() != "repro/internal/cluster" {
+			continue
+		}
+		for _, name := range []string{"Master", "Executor"} {
+			if obj, ok := pkg.Scope().Lookup(name).(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					out = append(out, iface)
+				}
+			}
+		}
+		break
+	}
+	return out
+}
+
+// allImports returns the transitive imports of pkg.
+func allImports(pkg *types.Package) []*types.Package {
+	seen := make(map[*types.Package]bool)
+	var out []*types.Package
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				visit(imp)
+			}
+		}
+	}
+	visit(pkg)
+	return out
+}
+
+// implementsContract reports whether fn's receiver type implements one of
+// the contract interfaces, or is scheme.Service itself.
+func implementsContract(pass *Pass, fn *ast.FuncDecl, ifaces []*types.Interface) bool {
+	if len(fn.Recv.List) == 0 {
+		return false
+	}
+	rt := pass.Info.Types[fn.Recv.List[0].Type].Type
+	if rt == nil {
+		return false
+	}
+	if named := namedOf(rt); named != nil {
+		obj := named.Obj()
+		if obj.Name() == "Service" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/scheme" {
+			return true
+		}
+	}
+	for _, iface := range ifaces {
+		if types.Implements(rt, iface) {
+			return true
+		}
+		if ptr, ok := rt.(*types.Pointer); !ok {
+			if types.Implements(types.NewPointer(rt), iface) {
+				return true
+			}
+		} else {
+			_ = ptr
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers to the named type, nil if unnamed.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

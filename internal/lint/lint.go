@@ -1,0 +1,226 @@
+// Package lint is the repo's machine-checked invariant suite: custom static
+// analyzers enforcing the arithmetic, allocation, concurrency, error-handling
+// and entropy contracts the optimized kernels and the round machinery are
+// built on (DESIGN.md §13). It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer/Pass/Diagnostic, one Run per
+// package — so the suite can migrate onto the upstream framework mechanically
+// if the dependency policy ever admits it; until then the loader (load.go)
+// and the multichecker (cmd/avcclint) stand in on the standard library alone.
+//
+// Analyzers:
+//
+//	lazyreduce — Barrett lazy-reduction overflow bounds in the field kernels
+//	noalloc    — //avcc:noalloc functions contain no heap-allocating constructs
+//	ctxflow    — context.Context threads through every ctx-carrying call chain
+//	typederr   — typed errors are matched with errors.Is/errors.As, never
+//	             direct assertions or == on possibly-wrapped values
+//	seedsource — no math/rand default-source entropy outside tests
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. Run is invoked once per loaded
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scope restricts which import paths the multichecker applies the
+	// analyzer to; nil means every loaded package. Tests bypass Scope by
+	// invoking Run directly.
+	Scope func(pkgPath string) bool
+	Run   func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the loaded file set.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass couples one analyzer invocation with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+
+	directives map[*ast.File]map[int][]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the analyzer over pkg and returns its findings sorted by
+// position.
+func (a *Analyzer) RunPackage(pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// ---- directive comments ----
+//
+// The suite's annotations are machine-readable comments in the //avcc:
+// namespace:
+//
+//	//avcc:noalloc   (function doc)  — the function promises zero
+//	                                   heap-allocating constructs
+//	//avcc:alloc-ok <reason>  (line) — exempts the allocating construct on
+//	                                   this or the next line inside a noalloc
+//	                                   function (cold error paths, pool-miss
+//	                                   refills, proven-non-escaping literals)
+//	//avcc:lazy-ok <reason>   (doc or line) — exempts a hand-verified kernel
+//	                                   or loop from the lazyreduce bound proof
+//	//avcc:ctx-ok <reason>    (line) — exempts a deliberate context detach
+//
+// A line directive applies to the source line it sits on and to the line
+// immediately below it (so it can ride above a flagged statement).
+
+// directive returns the //avcc: directive name of a comment ("noalloc",
+// "alloc-ok", ...) or "".
+func directive(c *ast.Comment) string {
+	text, ok := strings.CutPrefix(c.Text, "//avcc:")
+	if !ok {
+		return ""
+	}
+	name, _, _ := strings.Cut(text, " ")
+	return strings.TrimSpace(name)
+}
+
+// funcDirective reports whether fn's doc comment carries the named
+// //avcc: directive.
+func funcDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if directive(c) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// lineDirectives lazily builds, per file, the map from line number to the
+// //avcc: directives present on that line.
+func (p *Pass) lineDirectives(file *ast.File) map[int][]string {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]string)
+	}
+	if m, ok := p.directives[file]; ok {
+		return m
+	}
+	m := make(map[int][]string)
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if d := directive(c); d != "" {
+				line := p.Fset.Position(c.Pos()).Line
+				m[line] = append(m[line], d)
+			}
+		}
+	}
+	p.directives[file] = m
+	return m
+}
+
+// allowedAt reports whether a //avcc:<name> directive covers pos: same line,
+// or the line directly above.
+func (p *Pass) allowedAt(file *ast.File, pos token.Pos, name string) bool {
+	m := p.lineDirectives(file)
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range m[l] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- shared type helpers ----
+
+// isUint64 reports whether t's underlying type is uint64 (field.Elem is a
+// uint64 alias, so raw accumulators and canonical elements share it).
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isErrorInterface reports whether t is the universe error interface.
+func isErrorInterface(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeName returns the bare selector or identifier name of a call's
+// function expression ("Reduce" for f.Reduce(...) and for Reduce(...)).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// exprMentions reports whether any identifier inside e resolves (via Info)
+// to one of the given objects.
+func exprMentions(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	if e == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pathIn reports whether pkgPath is one of the listed import paths.
+func pathIn(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}

@@ -1,0 +1,123 @@
+package lint
+
+// The analyzer test harness mirrors golang.org/x/tools/go/analysis/analysistest
+// on the standard library: each analyzer has a testdata/<name> package whose
+// source is annotated with `// want "regexp"` comments; the harness loads the
+// package (testdata is invisible to the go tool, so the violation corpus never
+// breaks `go build ./...` or the tree-wide avcclint run), runs the analyzer,
+// and requires an exact match between reported and expected diagnostics —
+// every want must be hit, every diagnostic must be wanted.
+
+import (
+	"go/token"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortises dependency type-checking across all analyzer tests
+// in the process.
+var sharedLoader = sync.OnceValue(func() *Loader { return NewLoader("") })
+
+// expectation is one `// want "re"` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans the package's comments for want annotations.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, arg[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runAnalyzerTest loads testdata/<dir> and checks the analyzer's diagnostics
+// against the package's want annotations.
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := sharedLoader().LoadDir("testdata/" + dir)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", dir, err)
+	}
+	diags, err := a.RunPackage(pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, pkg)
+	match := func(pos token.Position, msg string) bool {
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+				w.hit = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(pos, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestLazyReduce(t *testing.T) { runAnalyzerTest(t, LazyReduce, "lazyreduce") }
+func TestNoAlloc(t *testing.T)    { runAnalyzerTest(t, NoAlloc, "noalloc") }
+func TestCtxFlow(t *testing.T)    { runAnalyzerTest(t, CtxFlow, "ctxflow") }
+func TestTypedErr(t *testing.T)   { runAnalyzerTest(t, TypedErr, "typederr") }
+func TestSeedSource(t *testing.T) { runAnalyzerTest(t, SeedSource, "seedsource") }
+
+// TestTreeIsClean is the self-gate: the analyzer suite must exit clean on
+// the repo's own tree (the same invariant CI enforces via cmd/avcclint).
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole tree; skipped in -short")
+	}
+	pkgs, err := sharedLoader().Load("repro/...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			diags, err := a.RunPackage(pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package lint
+
+// Package loading without golang.org/x/tools: the analyzers need fully
+// type-checked syntax trees, which go/packages would normally provide, but
+// this module is dependency-free by policy (ROADMAP: the container bakes no
+// module proxy). The Loader below reimplements the slice of go/packages the
+// multichecker needs on the standard library alone:
+//
+//   - one `go list -deps -json` invocation resolves import paths, build-tag
+//     file selection and dependency metadata for an arbitrary pattern set;
+//   - every package, including standard-library dependencies, is parsed and
+//     type-checked from source in dependency order (the same strategy as the
+//     standard library's own go/internal/srcimporter, which the Go project
+//     tests against the entire std tree);
+//   - the stdlib's vendored packages (net → golang.org/x/net/...) are
+//     re-mapped through the `vendor/` prefix the go command reports them
+//     under.
+//
+// Target packages (the ones analyzers run on) keep full *ast.File syntax
+// with comments — the directive system (//avcc:noalloc, //avcc:alloc-ok,
+// //avcc:lazy-ok, //avcc:ctx-ok) is comment-driven — and a fully populated
+// types.Info. Dependencies are type-checked without comments or Info, which
+// keeps a whole-tree load under a few seconds.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one fully loaded target package, ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listMeta is the subset of `go list -json` output the loader consumes.
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// Loader resolves, parses and type-checks packages. It caches dependency
+// type information, so one Loader amortises across many Load/LoadDir calls
+// (the analyzer test suite shares a single process-wide instance). Safe for
+// use from one goroutine at a time.
+type Loader struct {
+	// ModDir is the directory `go list` runs in; the zero value uses the
+	// current working directory (any directory inside the module works).
+	ModDir string
+
+	fset *token.FileSet
+	mu   sync.Mutex
+	meta map[string]*listMeta
+	deps map[string]*types.Package
+}
+
+// NewLoader returns a Loader rooted at modDir ("" = current directory).
+func NewLoader(modDir string) *Loader {
+	return &Loader{
+		ModDir: modDir,
+		fset:   token.NewFileSet(),
+		meta:   make(map[string]*listMeta),
+		deps:   make(map[string]*types.Package),
+	}
+}
+
+// goList runs `go list -deps -json` on the given patterns and merges the
+// metadata into the cache, returning the import paths matched directly by
+// the patterns (DepOnly = false) in listing order.
+func (l *Loader) goList(patterns ...string) ([]string, error) {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Imports,Standard,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		m := new(listMeta)
+		if err := dec.Decode(m); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint: go list %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if _, seen := l.meta[m.ImportPath]; !seen {
+			l.meta[m.ImportPath] = m
+		}
+		if !m.DepOnly {
+			targets = append(targets, m.ImportPath)
+		}
+	}
+	return targets, nil
+}
+
+// Import implements types.Importer over the metadata cache, type-checking
+// dependencies from source on first use. Unknown paths trigger a fresh
+// `go list` resolution (the LoadDir path, whose imports were never listed).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		// The standard library vendors golang.org/x dependencies; the go
+		// command lists them under a vendor/ prefix while their importers
+		// name the unprefixed path.
+		if v, okv := l.meta["vendor/"+path]; okv {
+			m = v
+		} else {
+			if _, err := l.goList(path); err != nil {
+				return nil, err
+			}
+			if m, ok = l.meta[path]; !ok {
+				if m, ok = l.meta["vendor/"+path]; !ok {
+					return nil, fmt.Errorf("lint: package %q not found", path)
+				}
+			}
+		}
+	}
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing dependency %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// Dependencies occasionally carry platform-conditional code paths
+		// the pure-Go file set cannot fully resolve; soft errors in deps
+		// must not block analysis of the target packages.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(m.ImportPath, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: type-checking dependency %s: %v", path, err)
+	}
+	l.deps[path] = pkg
+	if m.ImportPath != path {
+		l.deps[m.ImportPath] = pkg
+	}
+	return pkg, nil
+}
+
+// newInfo returns a fully populated types.Info for a target package.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// checkTarget parses (with comments) and type-checks one target package.
+func (l *Loader) checkTarget(path, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		if len(errs) > 0 {
+			err = errs[0]
+		}
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load resolves the patterns and returns every directly matched package
+// fully loaded, sorted by import path. Dependencies are type-checked as
+// needed but not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(targets)
+	pkgs := make([]*Package, 0, len(targets))
+	for _, path := range targets {
+		m := l.meta[path]
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.checkTarget(m.ImportPath, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package rooted at dir — a directory of Go files
+// that need not be visible to `go list` (the analyzer test corpus lives
+// under testdata/, which the go tool ignores by design). Files are listed
+// directly; imports resolve through the shared dependency cache.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, m := range matches {
+		name := filepath.Base(m)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, name)
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkTarget("lintcheck/"+filepath.Base(abs), abs, goFiles)
+}

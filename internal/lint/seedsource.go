@@ -1,0 +1,78 @@
+package lint
+
+// seedsource enforces reproducible entropy: every randomized component in
+// the repo (straggler injection, load-harness arrival processes, Freivalds
+// verification keys, fuzz corpora) draws from an explicitly seeded
+// *rand.Rand so runs replay bit-for-bit from a logged seed. The math/rand
+// package-level functions draw from the shared default source, which cannot
+// be re-seeded per-component and (since Go 1.20) self-seeds randomly —
+// using one silently breaks replayability.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf, and the v2
+// rand.NewPCG / rand.NewChaCha8) are the fix, not the problem, and are
+// allowed. Test files are exempt wholesale; a deliberate default-source use
+// carries //avcc:rand-ok <reason> on its line.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// defaultSourceOK lists the math/rand functions that do NOT touch the
+// default source: they construct independent, seedable generators.
+var defaultSourceOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// SeedSource is the seeded-entropy analyzer.
+var SeedSource = &Analyzer{
+	Name: "seedsource",
+	Doc:  "flag math/rand default-source usage outside test files; use a seeded rand.New(...)",
+	Run:  runSeedSource,
+}
+
+func runSeedSource(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true // types (rand.Source, rand.Zipf) are fine
+			}
+			if defaultSourceOK[sel.Sel.Name] {
+				return true
+			}
+			if pass.allowedAt(file, sel.Pos(), "rand-ok") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the unseeded default source; use a seeded rand.New(...) so runs replay (or annotate //avcc:rand-ok with a reason)",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

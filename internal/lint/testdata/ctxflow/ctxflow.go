@@ -1,0 +1,71 @@
+// Package ctxflow is the violation corpus for the ctxflow analyzer. The
+// contract types come from the real cluster package so the implements-check
+// runs against the genuine interfaces.
+package ctxflow
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+)
+
+// DetachedExec implements cluster.Executor but re-roots its context,
+// severing the master's per-round deadline, and never consults ctx at all.
+type DetachedExec struct{}
+
+func (DetachedExec) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []cluster.Result { // want "never uses its ctx parameter"
+	rctx := context.Background() // want "severs the caller's cancellation chain"
+	_ = rctx
+	return nil
+}
+
+// DropExec discards its context outright.
+type DropExec struct{}
+
+func (DropExec) RunRound(_ context.Context, key string, input []field.Elem, batch, iter int, active []int) []cluster.Result { // want "discards its context.Context parameter"
+	return nil
+}
+
+// ThreadedExec threads its context correctly. Clean.
+type ThreadedExec struct{}
+
+func (ThreadedExec) RunRound(ctx context.Context, key string, input []field.Elem, batch, iter int, active []int) []cluster.Result {
+	select {
+	case <-ctx.Done():
+		return nil
+	default:
+	}
+	return nil
+}
+
+// fetch is not a contract method, but rule 1 still applies: once a function
+// receives a ctx it must not re-root.
+func fetch(ctx context.Context) error {
+	c2 := context.TODO() // want "severs the caller's cancellation chain"
+	_ = c2
+	<-ctx.Done()
+	return nil
+}
+
+// relay passes a nil Context down a ctx-carrying chain.
+func relay(ctx context.Context) {
+	use(nil) // want "nil Context passed"
+	use(ctx)
+}
+
+func use(ctx context.Context) { _ = ctx }
+
+// spawnRound deliberately detaches: the shared round must outlive any one
+// caller, and says so in place.
+func spawnRound(ctx context.Context) context.Context {
+	_ = ctx
+	rctx := context.Background() //avcc:ctx-ok shared round outlives any single caller by design
+	return rctx
+}
+
+// freestanding has no ctx parameter, so Background here is the legitimate
+// root of a new chain. Clean.
+func freestanding() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,142 @@
+// Package lazyreduce is the violation corpus for the lazyreduce analyzer.
+// It mirrors the field package's idioms on a self-contained mini Field so
+// the corpus exercises the analyzer's structural rules, not the real
+// kernels (the real tree is gated separately by TestTreeIsClean).
+package lazyreduce
+
+type Field struct {
+	q         uint64
+	lazyBatch int
+}
+
+func (f *Field) barrett(x uint64) uint64 { return x % f.q }
+
+// Reduce canonicalises a single raw value.
+func (f *Field) Reduce(x uint64) uint64 { return x % f.q }
+
+// ReduceAcc partially reduces every accumulator entry.
+func (f *Field) ReduceAcc(acc []uint64) {
+	for i := range acc {
+		acc[i] %= f.q
+	}
+}
+
+// LazyBatch is the documented accumulation budget.
+func (f *Field) LazyBatch() int { return f.lazyBatch }
+
+// AXPYLazy adds one raw product to every accumulator entry; the CALLER owns
+// the budget. The per-entry accumulation advances with the loop, so the
+// analyzer accepts the body, and acc is a parameter, so handing it back raw
+// is the contract rather than an escape.
+func (f *Field) AXPYLazy(acc []uint64, c uint64, a []uint64) {
+	for i, ai := range a {
+		acc[i] += c * ai
+	}
+}
+
+// BadDot accumulates raw products over an arbitrary-length input with no
+// interleaved reduction and no batch-derived bound.
+func BadDot(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	for i := range a {
+		s += a[i] * b[i] // want "raw uint64 accumulation in BadDot"
+	}
+	return s // want "raw .unreduced. uint64 accumulator s escapes exported function BadDot"
+}
+
+// BatchedDot mirrors the real kernel: tiles clamped to the batch budget,
+// one Barrett reduction per tile. Clean.
+func BatchedDot(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	for len(a) > 0 {
+		n := len(a)
+		if n > f.lazyBatch {
+			n = f.lazyBatch
+		}
+		ah, bh := a[:n], b[:n]
+		for i, ai := range ah {
+			s += ai * bh[i]
+		}
+		s = f.barrett(s)
+		a, b = a[n:], b[n:]
+	}
+	return s
+}
+
+// StraddleDot runs exactly one product past the batch budget: the overflow
+// proof is void on the final iteration, so the bound does not count.
+func StraddleDot(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	for j := 0; j < f.lazyBatch+1; j++ {
+		s += a[j] * b[j] // want "raw uint64 accumulation in StraddleDot"
+	}
+	return f.barrett(s)
+}
+
+// ExactDot sits exactly at the budget — the largest structurally safe tile.
+func ExactDot(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	for j := 0; j < f.lazyBatch; j++ {
+		s += a[j] * b[j]
+	}
+	return f.barrett(s)
+}
+
+// MinClampDot derives its bound through min(), which can only shrink it.
+func MinClampDot(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	n := min(len(a), f.LazyBatch())
+	for j := 0; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return f.barrett(s)
+}
+
+// LeakAcc bounds its loop correctly but returns the accumulator raw.
+func LeakAcc(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	n := min(len(a), f.LazyBatch())
+	for j := 0; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return s // want "raw .unreduced. uint64 accumulator s escapes exported function LeakAcc"
+}
+
+// leakAccInternal hands a raw accumulator to package-internal callers, who
+// own the remaining budget; unexported escapes are allowed.
+func leakAccInternal(f *Field, a, b []uint64) uint64 {
+	var s uint64
+	n := min(len(a), f.LazyBatch())
+	for j := 0; j < n; j++ {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+// BadCombine stacks one raw product onto every accumulator entry per
+// source, with nothing limiting the source count.
+func BadCombine(f *Field, acc []uint64, coeffs []uint64, srcs [][]uint64) {
+	for i, src := range srcs {
+		f.AXPYLazy(acc, coeffs[i], src) // want "raw uint64 accumulation in BadCombine"
+	}
+}
+
+// GoodCombine interleaves a partial reduction per source. Clean.
+func GoodCombine(f *Field, acc []uint64, coeffs []uint64, srcs [][]uint64) {
+	for i, src := range srcs {
+		f.AXPYLazy(acc, coeffs[i], src)
+		f.ReduceAcc(acc)
+	}
+}
+
+// CallerBounded is hand-verified: its caller guarantees len(srcs) is at
+// most LazyBatch (the fused-combine contract), so it opts out explicitly.
+//
+//avcc:lazy-ok caller enforces len(srcs) <= LazyBatch before dispatching here
+func CallerBounded(f *Field, acc []uint64, coeffs []uint64, srcs [][]uint64) {
+	for i, src := range srcs {
+		for j, v := range src {
+			acc[j] += coeffs[i] * v
+		}
+	}
+}

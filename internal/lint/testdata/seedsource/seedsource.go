@@ -1,0 +1,29 @@
+// Package seedsource is the violation corpus for the seedsource analyzer.
+package seedsource
+
+import "math/rand"
+
+// BadJitter draws from the shared default source: not replayable.
+func BadJitter() int {
+	return rand.Intn(100) // want "draws from the unseeded default source"
+}
+
+// BadShuffle has the same problem through a different entry point.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "draws from the unseeded default source"
+}
+
+// GoodSeeded replays bit-for-bit from a logged seed. The constructors and
+// the methods on the seeded generator are the fix, not the problem.
+func GoodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// GoodAnnotated documents a deliberate default-source use in place.
+func GoodAnnotated() int {
+	return rand.Int() //avcc:rand-ok one-shot demo entropy, never replayed
+}
+
+// Type and interface references are not draws.
+var _ rand.Source

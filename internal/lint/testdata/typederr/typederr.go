@@ -1,0 +1,77 @@
+// Package typederr is the violation corpus for the typederr analyzer. The
+// error types mirror the module's own (the loader assigns this corpus a
+// lintcheck/ pseudo-path, which the analyzer treats as module-local).
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NTTSizeError mirrors the module's typed errors.
+type NTTSizeError struct{ Size int }
+
+func (e *NTTSizeError) Error() string { return fmt.Sprintf("bad ntt size %d", e.Size) }
+
+// ErrQueueFull mirrors the module's exported sentinels.
+var ErrQueueFull = errors.New("queue full")
+
+// BadAssert stops matching the moment anyone wraps the error.
+func BadAssert(err error) bool {
+	_, ok := err.(*NTTSizeError) // want "use errors.As"
+	return ok
+}
+
+// BadTypeSwitch has the same blindness, one case at a time.
+func BadTypeSwitch(err error) int {
+	switch err.(type) {
+	case *NTTSizeError: // want "use errors.As"
+		return 1
+	case nil:
+		return 0
+	}
+	return -1
+}
+
+// BadCompare misses fmt.Errorf("...: %w", ErrQueueFull).
+func BadCompare(err error) bool {
+	return err == ErrQueueFull // want "use errors.Is"
+}
+
+// BadSwitch compiles to the same == comparison.
+func BadSwitch(err error) int {
+	switch err {
+	case ErrQueueFull: // want "use errors.Is"
+		return 1
+	case nil:
+		return 0
+	}
+	return -1
+}
+
+// OKNil: nil comparisons are exact by definition.
+func OKNil(err error) bool {
+	return err == nil || err != nil
+}
+
+// OKIsAs is the fixed idiom.
+func OKIsAs(err error) (int, bool) {
+	var sizeErr *NTTSizeError
+	if errors.As(err, &sizeErr) {
+		return sizeErr.Size, true
+	}
+	return 0, errors.Is(err, ErrQueueFull)
+}
+
+// OKForeignAssert asserts to an interface the module does not own; the
+// net-style Timeout check is outside the contract.
+func OKForeignAssert(err error) bool {
+	t, ok := err.(interface{ Timeout() bool })
+	return ok && t.Timeout()
+}
+
+// OKConcrete asserts a non-error value; wrapping cannot hide anything.
+func OKConcrete(v any) bool {
+	_, ok := v.(*fmt.Stringer)
+	return ok
+}

@@ -81,7 +81,9 @@ func NewSubgroup(f *field.Field, n, k int) (*Subgroup, error) {
 	}
 	big, err := f.NTT(nn)
 	if err != nil {
-		return nil, err
+		// Wrapped, not returned bare: callers matching the NTT size error
+		// must use errors.As (enforced by the typederr analyzer).
+		return nil, fmt.Errorf("poly: size-%d subgroup domain: %w", nn, err)
 	}
 	hh := 1
 	for hh<<1 <= k {
