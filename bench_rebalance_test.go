@@ -1,0 +1,170 @@
+package repro_test
+
+// Elastic-fleet benchmark: the same degraded-fleet workload as the serving
+// soak — four coded groups, half of them slowed 6x partway in, permanently —
+// run with the elastic shard plane ON and OFF. The metric is VIRTUAL req/s
+// (requests over summed per-round virtual wall): with rebalancing off, the
+// static plan pins every round's wall to the degraded groups forever; with
+// it on, rows migrate off the slow groups and autoscaling replaces them with
+// fresh ones, so the fleet's wall recovers. The two arms are written to the
+// "rebalance" section of BENCH_serving.json with their speedup — the
+// committed evidence that elasticity beats a frozen plan under degrade.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fieldmat"
+	"repro/internal/scenario"
+	"repro/internal/scheme"
+	"repro/internal/shard"
+	"repro/internal/simnet"
+)
+
+const (
+	rbRows    = 480
+	rbCols    = 64
+	rbShards  = 4
+	rbBatch   = 4
+	rbFaultAt = 8 // rounds before half the fleet degrades 6x, permanently
+)
+
+// rebalanceRow is one arm of the rebalance axis in BENCH_serving.json.
+type rebalanceRow struct {
+	Rebalance     bool    `json:"rebalance"`
+	Rounds        int     `json:"rounds"`
+	Batch         int     `json:"batch"`
+	VirtReqPerSec float64 `json:"virt_req_per_sec"`
+	// Elastic-policy counters for the on arm (zero when off).
+	Moves         uint64 `json:"moves"`
+	GroupsAdded   uint64 `json:"groups_added"`
+	GroupsRetired uint64 `json:"groups_retired"`
+}
+
+var (
+	rebalanceMu      sync.Mutex
+	rebalanceResults = map[bool]rebalanceRow{}
+)
+
+// rbDegrade slows every worker of one 12-worker group by 6x from rbFaultAt on.
+func rbDegrade() *scenario.Scenario {
+	s := &scenario.Scenario{Name: "degrade", N: 12}
+	for w := 0; w < 12; w++ {
+		s.Events = append(s.Events, scenario.Event{
+			Kind: scenario.Slowdown, Worker: w, From: rbFaultAt, Factor: 6,
+		})
+	}
+	return s
+}
+
+func BenchmarkRebalance(b *testing.B) {
+	f := field.Default()
+	sim := simnet.DefaultConfig()
+	sim.LinkLatency = 1e-5 // compute-dominated: the degrade shows up in walls
+
+	for _, elastic := range []bool{false, true} {
+		b.Run(fmt.Sprintf("rebalance=%v", elastic), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(77))
+			x := fieldmat.Rand(f, rng, rbRows, rbCols)
+			opts := []scheme.Option{
+				scheme.WithSeed(77),
+				scheme.WithShards(rbShards),
+				scheme.WithSim(sim),
+				// Seed slots 0 and 1 carry the fault; fresh slots autoscaling
+				// mints are the clean default.
+				scheme.WithGroupScenarios(rbDegrade(), rbDegrade()),
+			}
+			if elastic {
+				opts = append(opts, scheme.WithRebalance(shard.RebalanceConfig{
+					Alpha: 0.5, Ratio: 1.2, CooldownRounds: 1,
+					MinGroups: 2, MaxGroups: 8,
+					ScaleUpWall: 1e-9, // constant growth pressure off the virtual walls
+				}))
+			}
+			m, err := scheme.New("avcc", f, scheme.NewConfig(opts...),
+				map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			el, _ := m.(scheme.Elastic)
+			inputs := make([][]field.Elem, rbBatch)
+			for i := range inputs {
+				inputs[i] = f.RandVec(rng, x.Cols)
+			}
+
+			b.ResetTimer()
+			virtWall := 0.0
+			for iter := 0; iter < b.N; iter++ {
+				out, err := m.RunRoundBatch(context.Background(), "fwd", inputs, iter)
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtWall += out.Breakdown.Wall
+				m.FinishIteration(iter)
+				if elastic {
+					if _, err := el.Tick(shard.LoadSignal{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+
+			// Spot-check the last decode: elasticity must stay exact.
+			outLast, err := m.RunRound(context.Background(), "fwd", inputs[0], b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !field.EqualVec(outLast.Decoded, fieldmat.MatVec(f, x, inputs[0])) {
+				b.Fatal("decode is not the exact product")
+			}
+
+			var virtReqPerSec float64
+			if virtWall > 0 {
+				virtReqPerSec = float64(b.N*rbBatch) / virtWall
+				b.ReportMetric(virtReqPerSec, "virt-req/s")
+			}
+			row := rebalanceRow{
+				Rebalance:     elastic,
+				Rounds:        b.N,
+				Batch:         rbBatch,
+				VirtReqPerSec: virtReqPerSec,
+			}
+			if elastic {
+				st := el.RebalanceStatus()
+				row.Moves, row.GroupsAdded, row.GroupsRetired = st.Moves, st.GroupsAdded, st.GroupsRetired
+			}
+			// The artifact needs the recovered regime to dominate the mean:
+			// short calibration runs (and the 1x bench smoke) are not recorded.
+			if b.N >= 8*rbFaultAt {
+				rebalanceMu.Lock()
+				rebalanceResults[elastic] = row
+				rebalanceMu.Unlock()
+			}
+		})
+	}
+
+	rebalanceMu.Lock()
+	defer rebalanceMu.Unlock()
+	off, okOff := rebalanceResults[false]
+	on, okOn := rebalanceResults[true]
+	if !okOff || !okOn {
+		b.Log("skipping BENCH_serving.json rebalance section (smoke run)")
+		return
+	}
+	mergeBenchArtifact(b, "BENCH_serving.json", map[string]any{
+		"rebalance": map[string]any{
+			"workload": fmt.Sprintf(
+				"avcc (12,9) virtual executor, %d shard groups on a %dx%d matvec (compute-bound sim), batch %d; "+
+					"seed slots 0-1 degrade 6x at round %d permanently; virt_req_per_sec is requests over summed per-round virtual wall",
+				rbShards, rbRows, rbCols, rbBatch, rbFaultAt),
+			"rows":            []rebalanceRow{off, on},
+			"elastic_speedup": on.VirtReqPerSec / off.VirtReqPerSec,
+		},
+	})
+	b.Logf("wrote BENCH_serving.json rebalance axis (elastic speedup %.2fx)",
+		on.VirtReqPerSec/off.VirtReqPerSec)
+}

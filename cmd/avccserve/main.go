@@ -18,8 +18,17 @@
 //	GET  /healthz     liveness probe
 //	GET  /statz       service + per-tenant metrics (incl. receipt counters),
 //	                  the public matrix digests receipts are bound to, plus a
-//	                  per-shard-group section (row span, worker count, live
-//	                  coding state) when the deployment is sharded (JSON)
+//	                  per-shard-group section (seed slot, row span, worker
+//	                  count, live coding state, EWMA round wall) and the
+//	                  elastic policy counters when the deployment is sharded
+//	                  (JSON; snapshotted under the shard master's topology
+//	                  lock, so it is consistent against concurrent rebalances)
+//
+// With -rebalance the shard plane is ELASTIC: rows migrate between adjacent
+// groups when their EWMA round walls diverge, and -max-groups > 0 lets the
+// fleet add/retire whole groups from serving load:
+//
+//	avccserve -shards 4 -rebalance -min-groups 2 -max-groups 8 -scale-up-depth 16
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, queued rounds finish,
 // then the process exits.
@@ -60,9 +69,24 @@ func main() {
 	linger := flag.Duration("linger", scheme.DefaultMaxLinger, "max wait to fill a round")
 	seed := flag.Int64("seed", 1, "seed for the synthetic model matrix and coding")
 	receipts := flag.Bool("receipts", true, "issue and audit committed-verification receipts")
+	rebalance := flag.Bool("rebalance", false, "enable runtime row rebalancing across shard groups")
+	rebalanceRatio := flag.Float64("rebalance-ratio", shard.DefaultRatio,
+		"EWMA-wall imbalance between adjacent groups that triggers a row move")
+	minGroups := flag.Int("min-groups", 1, "autoscale floor (with -max-groups)")
+	maxGroups := flag.Int("max-groups", 0, "autoscale ceiling; 0 disables group autoscaling")
+	scaleUpDepth := flag.Int("scale-up-depth", 0, "admission queue depth that adds a group (0 = off)")
 	flag.Parse()
 
-	if err := run(*addr, *schemeName, *rows, *cols, *n, *k, *sBudget, *mBudget, *shards, *batch, *linger, *seed, *receipts); err != nil {
+	var rc *shard.RebalanceConfig
+	if *rebalance || *maxGroups > 0 {
+		c := shard.DefaultRebalanceConfig()
+		c.Ratio = *rebalanceRatio
+		c.MinGroups, c.MaxGroups = *minGroups, *maxGroups
+		c.ScaleUpDepth = *scaleUpDepth
+		rc = &c
+	}
+
+	if err := run(*addr, *schemeName, *rows, *cols, *n, *k, *sBudget, *mBudget, *shards, *batch, *linger, *seed, *receipts, rc); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -142,20 +166,6 @@ func (s *server) matvec(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// shardStat is one shard group's /statz entry.
-type shardStat struct {
-	Group   int    `json:"group"`
-	Scheme  string `json:"scheme"`
-	Workers int    `json:"workers"`
-	// Spans maps each round key to this group's row range of that key.
-	Spans map[string]shard.Span `json:"spans"`
-	// Coding and Active report the group's LIVE adaptation state (present
-	// only for adaptive schemes): a group that re-coded under churn shows
-	// it here while the other groups stay at the deployment parameters.
-	Coding *[2]int `json:"coding,omitempty"`
-	Active *int    `json:"active,omitempty"`
-}
-
 func (s *server) statz(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"service": s.svc.Stats()}
 	if dp, ok := s.master.(commit.DigestProvider); ok {
@@ -169,45 +179,34 @@ func (s *server) statz(w http.ResponseWriter, _ *http.Request) {
 			resp["digests"] = folded
 		}
 	}
-	if sm, ok := s.master.(*shard.Master); ok {
-		groups := make([]shardStat, sm.Groups())
-		for g := range groups {
-			gm := sm.Group(g)
-			st := shardStat{
-				Group:   g,
-				Scheme:  gm.Name(),
-				Workers: len(gm.Workers()),
-				Spans:   make(map[string]shard.Span),
-			}
-			for _, key := range sm.Keys() {
-				st.Spans[key] = sm.Plan(key).Spans[g]
-			}
-			if ad, ok := gm.(scheme.Adaptive); ok {
-				n, k := ad.Coding()
-				coding := [2]int{n, k}
-				active := len(ad.ActiveWorkers())
-				st.Coding, st.Active = &coding, &active
-			}
-			groups[g] = st
-		}
-		resp["shards"] = groups
+	if sm, ok := s.master.(scheme.Elastic); ok {
+		// Snapshot and RebalanceStatus read under the shard master's topology
+		// lock: the group list, spans, and coding state are one consistent
+		// cut even while a rebalance or group add/retire runs concurrently.
+		resp["shards"] = sm.Snapshot()
+		resp["rebalance"] = sm.RebalanceStatus()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
-func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, batch int, linger time.Duration, seed int64, receipts bool) error {
+func run(addr, schemeName string, rows, cols, n, k, sBudget, mBudget, shards, batch int, linger time.Duration, seed int64, receipts bool, rc *shard.RebalanceConfig) error {
 	f := field.Default()
 	rng := rand.New(rand.NewSource(seed))
 	x := fieldmat.Rand(f, rng, rows, cols)
 
-	master, err := scheme.New(schemeName, f, scheme.NewConfig(
+	opts := []scheme.Option{
 		scheme.WithCoding(n, k),
 		scheme.WithBudgets(sBudget, mBudget, 0),
 		scheme.WithSeed(seed),
 		scheme.WithShards(shards),
 		scheme.WithReceipts(receipts),
-	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	}
+	if rc != nil {
+		opts = append(opts, scheme.WithRebalance(*rc))
+	}
+	master, err := scheme.New(schemeName, f, scheme.NewConfig(opts...),
+		map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
 	if err != nil {
 		var cfgErr *scheme.InvalidConfigError
 		if errors.As(err, &cfgErr) {

@@ -23,7 +23,10 @@ import (
 	"repro/internal/commit"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
+	"repro/internal/scenario"
 	"repro/internal/scheme"
+	"repro/internal/shard"
+	"repro/internal/simnet"
 )
 
 // newTestServer deploys a sharded AVCC master behind the HTTP handler.
@@ -194,6 +197,128 @@ func TestStatzIsolatesTenantsAndReportsShards(t *testing.T) {
 		if len(sh.Coding) != 2 || sh.Coding[0] != 12 || sh.Coding[1] != 9 {
 			t.Errorf("shard %d coding %v, want [12 9]", g, sh.Coding)
 		}
+	}
+}
+
+// TestStatzStaysConsistentDuringRebalance serves against an ELASTIC
+// deployment whose group 0 is virtually degraded, so rows migrate between
+// groups while requests flow — and hammers /statz from pollers the whole
+// time. Every poll must see a consistent cut: spans that tile the full
+// matrix with no gap, overlap, or stale group count (under -race this also
+// pins the snapshot path against concurrent topology changes).
+func TestStatzStaysConsistentDuringRebalance(t *testing.T) {
+	f := field.Default()
+	rng := rand.New(rand.NewSource(11))
+	x := fieldmat.Rand(f, rng, 240, 24)
+	slow := &scenario.Scenario{Name: "degrade", N: 12}
+	for w := 0; w < 12; w++ {
+		slow.Events = append(slow.Events, scenario.Event{
+			Kind: scenario.Slowdown, Worker: w, From: 0, Factor: 4,
+		})
+	}
+	sim := simnet.DefaultConfig()
+	sim.LinkLatency = 1e-5 // compute-dominated: the degrade shows up in walls
+	master, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithSeed(11),
+		scheme.WithShards(2),
+		scheme.WithSim(sim),
+		scheme.WithGroupScenarios(slow), // seed slot 0 runs 4x slow
+		scheme.WithRebalance(shard.RebalanceConfig{Alpha: 0.5, Ratio: 1.2, CooldownRounds: 1}),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := scheme.NewService(master, scheme.ServiceConfig{MaxBatch: 1})
+	ts := httptest.NewServer(newServer(svc, master, f, x.Cols).handler())
+	defer func() {
+		ts.Close()
+		svc.Close(context.Background())
+	}()
+
+	type elasticStatz struct {
+		Shards []struct {
+			Group int `json:"group"`
+			Slot  int `json:"slot"`
+			Spans map[string]struct {
+				Start int `json:"start"`
+				Rows  int `json:"rows"`
+			} `json:"spans"`
+		} `json:"shards"`
+		Rebalance struct {
+			Enabled bool   `json:"enabled"`
+			Moves   uint64 `json:"moves"`
+		} `json:"rebalance"`
+	}
+	getElastic := func() (elasticStatz, error) {
+		var st elasticStatz
+		resp, err := http.Get(ts.URL + "/statz")
+		if err != nil {
+			return st, err
+		}
+		defer resp.Body.Close()
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st, err := getElastic()
+				if err != nil {
+					t.Errorf("poller: %v", err)
+					return
+				}
+				next := 0
+				for _, sh := range st.Shards {
+					span := sh.Spans["fwd"]
+					if span.Start != next || span.Rows < 1 {
+						t.Errorf("poller saw a torn plan: %+v", st.Shards)
+						return
+					}
+					next = span.Start + span.Rows
+				}
+				if next != x.Rows {
+					t.Errorf("poller saw spans covering %d of %d rows", next, x.Rows)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 24; i++ {
+		in := f.RandVec(rng, x.Cols)
+		resp := postMatvec(t, ts.URL, "", in)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		var out struct {
+			Output []field.Elem `json:"output"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !field.EqualVec(out.Output, fieldmat.MatVec(f, x, in)) {
+			t.Fatalf("request %d: served output is not the exact matvec", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st, err := getElastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Rebalance.Enabled || st.Rebalance.Moves < 1 {
+		t.Fatalf("the degraded fleet never rebalanced under load (rebalance %+v); the consistency check is vacuous",
+			st.Rebalance)
 	}
 }
 

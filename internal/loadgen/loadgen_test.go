@@ -15,6 +15,8 @@ import (
 	"repro/internal/fieldmat"
 	"repro/internal/scenario"
 	"repro/internal/scheme"
+	"repro/internal/shard"
+	"repro/internal/simnet"
 )
 
 var f = field.Default()
@@ -179,6 +181,71 @@ func TestRunAgainstRealService(t *testing.T) {
 	}
 	if rep.GoodputRPS <= 0 {
 		t.Fatalf("goodput %.1f", rep.GoodputRPS)
+	}
+}
+
+// TestRunCountersReconcileAcrossElasticCycle drives the open loop through an
+// ELASTIC deployment that retires and adds groups mid-run (seed slot 0 is
+// virtually degraded; autoscaling replaces it with a fresh group). The shed
+// and goodput accounting must survive the topology churn exactly: the outcome
+// classes partition offered load, nothing fails, and every completed request
+// is one the service's own round counter carried — no request lost or
+// double-counted across a retire/add cycle.
+func TestRunCountersReconcileAcrossElasticCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := fieldmat.Rand(f, rng, 240, 16)
+	slow := &scenario.Scenario{Name: "degrade", N: 12}
+	for w := 0; w < 12; w++ {
+		slow.Events = append(slow.Events, scenario.Event{
+			Kind: scenario.Slowdown, Worker: w, From: 0, Factor: 6,
+		})
+	}
+	sim := simnet.DefaultConfig()
+	sim.LinkLatency = 1e-5
+	m, err := scheme.New("avcc", f, scheme.NewConfig(
+		scheme.WithSeed(31),
+		scheme.WithShards(2),
+		scheme.WithSim(sim),
+		scheme.WithGroupScenarios(slow), // slot 0 runs 6x slow from the start
+		scheme.WithRebalance(shard.RebalanceConfig{
+			Alpha: 0.5, Ratio: 1.2, CooldownRounds: 1,
+			MinGroups: 1, MaxGroups: 3,
+			ScaleUpWall: 1e-9, // constant growth pressure: add, then replace the laggard
+		}),
+	), map[string]*fieldmat.Matrix{"fwd": x}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := scheme.NewService(m, scheme.ServiceConfig{MaxBatch: 4, MaxLinger: time.Millisecond})
+
+	rep, err := Run(context.Background(), ServiceTarget{Svc: svc}, Config{
+		Rate: 400, Duration: 400 * time.Millisecond, Cols: 16, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := m.(scheme.Elastic).RebalanceStatus()
+	if st.GroupsRetired < 1 || st.GroupsAdded < 1 {
+		t.Fatalf("no retire/add cycle happened under load (status %+v); the reconciliation is vacuous", st)
+	}
+	if rep.Completed+rep.Overloaded+rep.Failed+rep.Dropped != rep.Offered {
+		t.Fatalf("outcome classes do not partition offered load across the cycle: %+v", rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("topology churn surfaced as request failures: %+v", rep)
+	}
+	if rep.Completed == 0 || rep.GoodputRPS <= 0 {
+		t.Fatalf("no goodput through the elastic fleet: %+v", rep)
+	}
+	// The service-side ledger must agree with the harness-side one: every
+	// completed request rode exactly one coded round; shed requests rode none.
+	if stats := svc.Stats(); int(stats.Requests) != rep.Completed {
+		t.Fatalf("service carried %d requests in rounds, harness completed %d (report %+v)",
+			stats.Requests, rep.Completed, rep)
 	}
 }
 

@@ -107,7 +107,7 @@ func New(name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matr
 		return nil, &InvalidConfigError{"Modulus",
 			fmt.Sprintf("= %d but the supplied field has q = %d: resolve the field with scheme.FieldFor", cfg.Modulus, f.Q())}
 	}
-	if cfg.Shards > 1 {
+	if cfg.Shards > 1 || cfg.Rebalance != nil || len(cfg.GroupScenarios) > 0 {
 		return newSharded(e, name, f, cfg, data, behaviors, stragglers)
 	}
 	m, err := e.build(f, cfg, data, behaviors, stragglers)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/scenario"
+	"repro/internal/shard"
 	"repro/internal/simnet"
 )
 
@@ -53,6 +54,21 @@ type Adaptive interface {
 	Coding() (n, k int)
 	// ActiveWorkers returns the non-quarantined worker IDs.
 	ActiveWorkers() []int
+}
+
+// Elastic is the optional interface of masters whose shard topology can
+// change at runtime (the shard-plane master when built WithRebalance). The
+// serving layer feeds it load signals between rounds; /statz renders its
+// snapshot. Every shard-plane master implements it — Tick is a no-op when
+// the fleet was built without WithRebalance, so callers only need the type
+// assertion, never a second capability check.
+type Elastic interface {
+	// Tick runs one rebalance/autoscale policy step between rounds.
+	Tick(load shard.LoadSignal) (shard.TickResult, error)
+	// RebalanceStatus reports the elastic plane's counters and EWMA state.
+	RebalanceStatus() shard.RebalanceStatus
+	// Snapshot reports every live group's topology under the master's lock.
+	Snapshot() []shard.GroupStatus
 }
 
 // Blocked is the optional interface of masters whose round output is a
@@ -100,6 +116,19 @@ type Config struct {
 	// executor, scenario dynamics, and adaptation state), behind one
 	// fan-out master (internal/shard). 0 or 1 means a single group.
 	Shards int
+	// Rebalance makes the shard plane elastic: the fan-out master tracks
+	// per-group round walls, moves row spans from slow groups to fast
+	// neighbours between rounds (re-encoding only the moved rows), and —
+	// when the config's autoscale bounds are set — adds and retires whole
+	// groups driven by serving-load signals. Setting it implies a sharded
+	// deployment even when Shards is 0 or 1 (a one-group fleet that can grow).
+	Rebalance *shard.RebalanceConfig
+	// GroupScenarios overlays a DIFFERENT fault timeline on each shard
+	// group, keyed by the group's seed-stream slot: slot g < len gets
+	// GroupScenarios[g] (nil entries mean the static world), and slots
+	// beyond the list — including groups added at runtime by the elastic
+	// plane — fall back to Scenario. Requires a sharded deployment.
+	GroupScenarios []*scenario.Scenario
 	// Receipts turns on the committed-verification plane (internal/commit):
 	// workers ship Merkle commitments to their outputs and every round's
 	// BatchOutput carries a tenant-verifiable receipt bound to the public
@@ -214,6 +243,34 @@ func WithScenario(s *scenario.Scenario) Option {
 // unsharded deployment.
 func WithShards(g int) Option {
 	return func(c *Config) { c.Shards = g }
+}
+
+// WithRebalance makes the shard plane elastic under the given policy: the
+// fan-out master EWMA-tracks each group's round wall, shifts row spans from
+// slow groups to fast neighbours between rounds, and (when rc sets
+// MaxGroups) adds/retires whole groups from serving-load signals. Rounds
+// in flight always run against a consistent topology — changes install
+// under the master's write lock, which a change waits out. Combine with
+// WithShards for the initial group count; WithRebalance alone starts one
+// group that can grow.
+//
+//	master, _ := scheme.New("avcc", f, scheme.NewConfig(
+//		scheme.WithShards(2),
+//		scheme.WithRebalance(shard.DefaultRebalanceConfig()),
+//	), data, nil, nil)
+//	elastic := master.(scheme.Elastic)
+func WithRebalance(rc shard.RebalanceConfig) Option {
+	return func(c *Config) { c.Rebalance = &rc }
+}
+
+// WithGroupScenarios overlays per-group fault timelines on a sharded
+// deployment, keyed by seed-stream slot (nil entries and slots past the
+// list fall back to WithScenario's timeline). This is how tests degrade
+// half the fleet: the slots of the initial groups carry the fault, and any
+// group the elastic plane adds later — which takes a fresh slot — comes up
+// on the healthy default.
+func WithGroupScenarios(scns ...*scenario.Scenario) Option {
+	return func(c *Config) { c.GroupScenarios = scns }
 }
 
 // WithReceipts toggles the committed-verification plane: every round's

@@ -3,6 +3,7 @@ package scheme
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestConfigOptions(t *testing.T) {
 		N: 10, K: 4, S: 2, M: 3, T: 1, DegF: 2, VerifyTrials: 4,
 		Sim: sim, Seed: 99, Dynamic: false, PregeneratedCodings: true,
 	}
-	if cfg != want {
+	if !reflect.DeepEqual(cfg, want) {
 		t.Fatalf("options applied wrong:\n got %+v\nwant %+v", cfg, want)
 	}
 }

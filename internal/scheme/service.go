@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 )
 
 // ErrServiceClosed rejects Submits after Close began; in-flight and queued
@@ -196,6 +197,14 @@ type ServiceStats struct {
 type Service struct {
 	master Master
 	cfg    ServiceConfig
+	// elastic is non-nil when master is a shard-plane fleet: after every
+	// successful round the dispatcher feeds it the live load signal (queue
+	// depth, service-wide p99) so the fleet can rebalance or autoscale.
+	elastic Elastic
+	// latency aggregates Submit→resolve wall latency across ALL tenants —
+	// the p99 the elastic policy scales on is the service's, not any one
+	// tenant's.
+	latency *metrics.Histogram
 
 	mu    sync.Mutex
 	queue []*request
@@ -220,11 +229,13 @@ func NewService(master Master, cfg ServiceConfig) *Service {
 	s := &Service{
 		master:  master,
 		cfg:     cfg,
+		latency: metrics.NewHistogram(),
 		pending: make(map[string]int),
 		tenants: make(map[string]*tenantCounters),
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	s.elastic, _ = master.(Elastic)
 	go s.dispatch()
 	return s
 }
@@ -459,6 +470,19 @@ func (s *Service) runBatch(batch []*request) {
 		// evidence the round never produced. The failure is reported to the
 		// callers; the coding geometry stays as it was.
 		_, recoded = s.master.FinishIteration(iter)
+		if s.elastic != nil {
+			s.mu.Lock()
+			depth := len(s.queue)
+			s.mu.Unlock()
+			// A failed topology change rolls back and is recorded in the
+			// master's RebalanceStatus().LastError; serving continues on the
+			// previous plan, so there is nothing for the dispatcher to do
+			// with the error here.
+			_, _ = s.elastic.Tick(shard.LoadSignal{
+				QueueDepth: depth,
+				P99Sec:     s.latency.Quantile(0.99),
+			})
+		}
 	}
 
 	s.mu.Lock()
@@ -513,5 +537,6 @@ func (s *Service) finish(r *request, out *cluster.RoundOutput, err error) {
 	latency := tc.latency
 	s.mu.Unlock()
 	latency.Observe(elapsed)
+	s.latency.Observe(elapsed)
 	r.fu.resolve(out, err)
 }

@@ -1,9 +1,13 @@
-// Sharded construction: scheme.New with Config.Shards > 1 builds one
-// registry-backed master per shard group and wraps them in the fan-out
-// master from internal/shard. Everything above the Master interface — the
-// serving layer, the experiment drivers, the CLIs — works unchanged on the
-// result; everything below it (encoding, verification, adaptation) runs
-// per group, on that group's row shard alone.
+// Sharded construction: scheme.New with Config.Shards > 1 (or a Rebalance
+// policy, or per-group scenarios) builds one registry-backed master per
+// shard group and wraps them in the fan-out master from internal/shard.
+// Everything above the Master interface — the serving layer, the experiment
+// drivers, the CLIs — works unchanged on the result; everything below it
+// (encoding, verification, adaptation) runs per group, on that group's row
+// shard alone. With Config.Rebalance set the wrapper is ELASTIC: it keeps
+// the full matrices and a rebuild closure, so it can re-slice and re-encode
+// affected groups whenever rows change hands or groups are added/retired at
+// runtime.
 package scheme
 
 import (
@@ -12,12 +16,15 @@ import (
 	"repro/internal/attack"
 	"repro/internal/field"
 	"repro/internal/fieldmat"
+	"repro/internal/scenario"
 	"repro/internal/shard"
 )
 
-// shardSeedStride separates the per-group randomness streams: group g runs
-// at cfg.Seed + g*shardSeedStride, so groups make independent (but still
-// seed-reproducible) key, mask, and jitter draws.
+// shardSeedStride separates the per-group randomness streams: the group at
+// seed-stream slot g runs at cfg.Seed + g*shardSeedStride, so groups make
+// independent (but still seed-reproducible) key, mask, and jitter draws.
+// Slots are never reused across the fleet's lifetime — a group added at
+// runtime draws a stream no live or retired group ever touched.
 const shardSeedStride = 1_000_003
 
 // blockSharded names the registered schemes whose round output is a
@@ -26,20 +33,27 @@ const shardSeedStride = 1_000_003
 // hand each group whole coded blocks — the plan splits the padded matrix at
 // block boundaries and each group's K scales to the blocks it holds — or
 // the concatenated output would change block geometry and stop being
-// bit-exact with the unsharded deployment. Schemes not named here shard by
-// plain rows, which is exact for any decode that trims to original rows.
+// bit-exact with the unsharded deployment. For these schemes the elastic
+// quantum is the block row count, so rebalancing moves whole blocks too.
+// Schemes not named here shard by plain rows, which is exact for any decode
+// that trims to original rows.
 var blockSharded = map[string]bool{"gavcc": true}
 
-// newSharded builds cfg.Shards independent group masters via the registry
-// and wraps them in a shard.Master. Each group receives its row shard of
-// every data key, the shared behaviours/straggler schedule, a per-group
-// seed, and (when cfg.Scenario is set) its own compiled scenario engine —
-// so fault timelines play out independently in every group.
+// newSharded builds the initial groups via the registry and wraps them in a
+// shard.Master. Each group receives its row shard of every data key, the
+// shared behaviours/straggler schedule, a per-slot seed, and its slot's
+// scenario — so fault timelines play out independently in every group.
 func newSharded(e entry, name string, f *field.Field, cfg Config, data map[string]*fieldmat.Matrix,
 	behaviors []attack.Behavior, stragglers attack.StragglerSchedule) (Master, error) {
 	groups := cfg.Shards
+	if groups < 1 {
+		groups = 1 // WithRebalance/WithGroupScenarios alone: one group to start
+	}
 	gcfg := cfg
 	gcfg.Shards = 0
+	gcfg.Rebalance = nil
+	gcfg.GroupScenarios = nil
+	quantum := 1
 	if blockSharded[name] {
 		if cfg.K%groups != 0 {
 			return nil, &InvalidConfigError{"Shards", fmt.Sprintf(
@@ -49,36 +63,47 @@ func newSharded(e entry, name string, f *field.Field, cfg Config, data map[strin
 		gcfg.K = cfg.K / groups
 	}
 
+	// Keep the FULL (padded, for block schemes) matrices: the elastic master
+	// re-slices them whenever rows change hands.
+	full := make(map[string]*fieldmat.Matrix, len(data))
 	plans := make(map[string]*shard.Plan, len(data))
-	perGroup := make([]map[string]*fieldmat.Matrix, groups)
-	for g := range perGroup {
-		perGroup[g] = make(map[string]*fieldmat.Matrix, len(data))
-	}
 	for _, key := range dataKeys(data) {
 		x := data[key]
 		if blockSharded[name] {
-			// Pad to K blocks first so the even split lands exactly on
-			// block boundaries (K % groups == 0 guarantees divisibility).
+			// Pad to K blocks first so every split lands exactly on block
+			// boundaries (K % groups == 0 guarantees initial divisibility).
 			x = fieldmat.PadRows(x, cfg.K)
+			quantum = x.Rows / cfg.K
 		}
 		plan, err := shard.EvenPlan(x.Rows, groups)
 		if err != nil {
 			return nil, &InvalidConfigError{"Shards", fmt.Sprintf("= %d: key %q: %v", groups, key, err)}
 		}
-		slices, err := plan.Split(x)
-		if err != nil {
-			return nil, fmt.Errorf("scheme: sharding key %q: %w", key, err)
-		}
+		full[key] = x
 		plans[key] = plan
-		for g, sl := range slices {
-			perGroup[g][key] = sl
-		}
 	}
 
-	return shard.NewMaster(plans, func(g int) (shard.GroupMaster, error) {
+	// scnFor resolves a seed-stream slot's fault timeline: per-group
+	// overrides for the initial slots, the shared Scenario otherwise —
+	// including for every group the elastic plane adds later.
+	scnFor := func(slot int) *scenario.Scenario {
+		if slot < len(cfg.GroupScenarios) && cfg.GroupScenarios[slot] != nil {
+			return cfg.GroupScenarios[slot]
+		}
+		return cfg.Scenario
+	}
+	rebuild := func(slot int, slices map[string]*fieldmat.Matrix) (shard.GroupMaster, error) {
 		c := gcfg
-		c.Seed = cfg.Seed + int64(g)*shardSeedStride
-		m, err := e.build(f, c, perGroup[g], behaviors, stragglers)
+		c.Seed = cfg.Seed + int64(slot)*shardSeedStride
+		c.Scenario = scnFor(slot)
+		if blockSharded[name] {
+			// The group's K tracks the whole blocks it holds, so its output
+			// block geometry matches the unsharded deployment's.
+			for _, sl := range slices {
+				c.K = sl.Rows / quantum
+			}
+		}
+		m, err := e.build(f, c, slices, behaviors, stragglers)
 		if err != nil {
 			return nil, err
 		}
@@ -88,5 +113,26 @@ func newSharded(e entry, name string, f *field.Field, cfg Config, data map[strin
 			}
 		}
 		return m, nil
+	}
+
+	if cfg.Rebalance != nil {
+		return shard.NewElasticMaster(full, plans, quantum, *cfg.Rebalance, rebuild)
+	}
+	// Statically sharded: same construction, topology frozen after this.
+	perGroup := make([]map[string]*fieldmat.Matrix, groups)
+	for g := range perGroup {
+		perGroup[g] = make(map[string]*fieldmat.Matrix, len(full))
+	}
+	for _, key := range dataKeys(full) {
+		slices, err := plans[key].Split(full[key])
+		if err != nil {
+			return nil, fmt.Errorf("scheme: sharding key %q: %w", key, err)
+		}
+		for g, sl := range slices {
+			perGroup[g][key] = sl
+		}
+	}
+	return shard.NewMaster(plans, func(g int) (shard.GroupMaster, error) {
+		return rebuild(g, perGroup[g])
 	})
 }

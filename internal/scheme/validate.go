@@ -62,5 +62,10 @@ func (c Config) Validate() error {
 	case !c.Sim.Validate():
 		return &InvalidConfigError{"Sim", "is not a valid latency model (rates must be positive)"}
 	}
+	if c.Rebalance != nil {
+		if err := c.Rebalance.Validate(); err != nil {
+			return &InvalidConfigError{"Rebalance", err.Error()}
+		}
+	}
 	return nil
 }

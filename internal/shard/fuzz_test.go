@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/field"
@@ -66,6 +67,51 @@ func FuzzShardPlan(fz *testing.F) {
 			if !field.EqualVec(back, m.Data) {
 				t.Fatalf("split/concat round trip lost rows for plan %+v", p.Spans)
 			}
+		}
+
+		// Mutation sequences: drive the rebalancer's plan operations
+		// (MoveRows / SplitSpan / MergeSpan) from an LCG and check that every
+		// ACCEPTED mutation yields a plan that still validates, still covers
+		// [0, rows), and still round-trips split/concat — while REJECTED ops
+		// leave the input untouched (the helpers clone, never edit in place).
+		p := even
+		lcg := uint64(wseed)*6364136223846793005 + uint64(rows)*1442695040888963407 + uint64(groups) + 1
+		next := func(n int) int {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			return int((lcg >> 33) % uint64(n))
+		}
+		for step := 0; step < 24; step++ {
+			beforeSpans := fmt.Sprint(p.Spans)
+			var q *Plan
+			var err error
+			switch g := next(p.Groups()); next(3) {
+			case 0:
+				to := g + 1 - 2*next(2) // either neighbour, possibly out of range
+				q, err = p.MoveRows(g, to, 1+next(4))
+			case 1:
+				q, err = p.SplitSpan(g, 1+next(4))
+			default:
+				q, err = p.MergeSpan(g, g+1-2*next(2))
+			}
+			if fmt.Sprint(p.Spans) != beforeSpans {
+				t.Fatalf("step %d mutated the input plan in place: %s -> %+v", step, beforeSpans, p.Spans)
+			}
+			if err != nil {
+				continue // rejected op: plan unchanged, try the next one
+			}
+			checkPlan(t, q, rows, q.Groups())
+			parts, err := q.Split(m)
+			if err != nil {
+				t.Fatalf("step %d: Split of mutated plan %+v: %v", step, q.Spans, err)
+			}
+			var back []field.Elem
+			for _, part := range parts {
+				back = append(back, part.Data...)
+			}
+			if !field.EqualVec(back, m.Data) {
+				t.Fatalf("step %d: split/concat round trip lost rows for mutated plan %+v", step, q.Spans)
+			}
+			p = q
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -128,6 +129,132 @@ func TestSplitRoundTrip(t *testing.T) {
 	parts[0].Data[0]++
 	if parts[0].Data[0] == m.Data[0] {
 		t.Fatal("split slice aliases the source matrix")
+	}
+}
+
+func TestPlanMoveRows(t *testing.T) {
+	base := func() *Plan { p, _ := EvenPlan(12, 3); return p } // [0,4) [4,8) [8,12)
+
+	q, err := base().MoveRows(1, 2, 2) // tail of 1 becomes head of 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Span{{0, 4}, {4, 2}, {6, 6}}; fmt.Sprint(q.Spans) != fmt.Sprint(want) {
+		t.Errorf("MoveRows(1->2, 2) = %+v, want %+v", q.Spans, want)
+	}
+	q, err = base().MoveRows(1, 0, 3) // head of 1 becomes tail of 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Span{{0, 7}, {7, 1}, {8, 4}}; fmt.Sprint(q.Spans) != fmt.Sprint(want) {
+		t.Errorf("MoveRows(1->0, 3) = %+v, want %+v", q.Spans, want)
+	}
+
+	for name, run := range map[string]func() (*Plan, error){
+		"non-adjacent":   func() (*Plan, error) { return base().MoveRows(0, 2, 1) },
+		"out of range":   func() (*Plan, error) { return base().MoveRows(2, 3, 1) },
+		"zero delta":     func() (*Plan, error) { return base().MoveRows(0, 1, 0) },
+		"empties donor":  func() (*Plan, error) { return base().MoveRows(0, 1, 4) },
+		"self move":      func() (*Plan, error) { return base().MoveRows(1, 1, 1) },
+		"negative delta": func() (*Plan, error) { return base().MoveRows(0, 1, -2) },
+	} {
+		if _, err := run(); err == nil {
+			t.Errorf("MoveRows accepted a %s move", name)
+		}
+	}
+
+	// Mutation helpers return fresh plans; the input is never edited.
+	p := base()
+	if _, err := p.MoveRows(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(p.Spans) != fmt.Sprint(base().Spans) {
+		t.Errorf("MoveRows mutated its receiver: %+v", p.Spans)
+	}
+}
+
+func TestPlanSplitAndMergeSpan(t *testing.T) {
+	p, _ := EvenPlan(12, 2) // [0,6) [6,12)
+
+	q, err := p.SplitSpan(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Span{{0, 4}, {4, 2}, {6, 6}}; fmt.Sprint(q.Spans) != fmt.Sprint(want) {
+		t.Errorf("SplitSpan(0, 2) = %+v, want %+v", q.Spans, want)
+	}
+	if _, err := p.SplitSpan(0, 6); err == nil {
+		t.Error("SplitSpan took the donor's whole span")
+	}
+	if _, err := p.SplitSpan(2, 1); err == nil {
+		t.Error("SplitSpan accepted an out-of-range group")
+	}
+
+	r, err := q.MergeSpan(1, 2) // undo the split the other way: 1 absorbed down into 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Span{{0, 4}, {4, 8}}; fmt.Sprint(r.Spans) != fmt.Sprint(want) {
+		t.Errorf("MergeSpan(1->2) = %+v, want %+v", r.Spans, want)
+	}
+	r, err = q.MergeSpan(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Span{{0, 6}, {6, 6}}; fmt.Sprint(r.Spans) != fmt.Sprint(want) {
+		t.Errorf("MergeSpan(1->0) = %+v, want %+v", r.Spans, want)
+	}
+	if _, err := q.MergeSpan(0, 2); err == nil {
+		t.Error("MergeSpan accepted non-adjacent groups")
+	}
+	single := &Plan{Rows: 4, Spans: []Span{{0, 4}}}
+	if _, err := single.MergeSpan(0, 0); err == nil {
+		t.Error("MergeSpan removed the last group")
+	}
+}
+
+// TestPlanMutationSequencesKeepTiling is the satellite property test: any
+// sequence of accepted mutations leaves the plan a perfect tiling of
+// [0, rows) — validated, gap-free, with the total row count conserved.
+func TestPlanMutationSequencesKeepTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(96)
+		groups := 1 + rng.Intn(6)
+		if groups > rows {
+			groups = rows
+		}
+		p, err := EvenPlan(rows, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := 0
+		for step := 0; step < 40; step++ {
+			g := rng.Intn(p.Groups())
+			var q *Plan
+			switch rng.Intn(3) {
+			case 0:
+				q, err = p.MoveRows(g, g+1-2*rng.Intn(2), 1+rng.Intn(5))
+			case 1:
+				q, err = p.SplitSpan(g, 1+rng.Intn(5))
+			default:
+				q, err = p.MergeSpan(g, g+1-2*rng.Intn(2))
+			}
+			if err != nil {
+				continue
+			}
+			accepted++
+			if err := q.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: accepted mutation broke the plan: %v (%+v)", trial, step, err, q.Spans)
+			}
+			if q.Rows != rows {
+				t.Fatalf("trial %d step %d: mutation changed the row total to %d, want %d", trial, step, q.Rows, rows)
+			}
+			p = q
+		}
+		if rows > 8 && accepted == 0 {
+			t.Fatalf("trial %d: no mutation was ever accepted on a %d-row plan; the property is vacuous", trial, rows)
+		}
 	}
 }
 
